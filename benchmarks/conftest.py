@@ -1,0 +1,25 @@
+"""Benchmark harness conventions.
+
+Each benchmark module regenerates one table or figure of the paper: it
+times the experiment via pytest-benchmark (one round — these are
+experiments, not microbenchmarks), prints the reproduced rows/series next
+to the paper's claims, and asserts the shape claims hold.
+
+Run with: pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

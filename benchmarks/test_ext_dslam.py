@@ -1,0 +1,14 @@
+"""Extension — 3GOL under DSLAM oversubscription."""
+
+from repro.experiments import ext_dslam
+
+
+def test_ext_dslam(once):
+    result = once(ext_dslam.run, seeds=(0, 1, 2))
+    print()
+    print(result.render())
+    # Contention cripples the wired path but not the cellular ones, so
+    # the 3GOL speedup grows with oversubscription.
+    assert result.speedup_grows_with_contention()
+    assert result.cells[16].speedup > 3.0
+    assert result.cells[0].speedup > 1.5

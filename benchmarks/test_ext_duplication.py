@@ -1,0 +1,16 @@
+"""Ablation §4.1.1 — endgame duplication on vs off."""
+
+from repro.experiments import ext_duplication
+
+
+def test_ext_duplication(once):
+    result = once(ext_duplication.run, seeds=(0, 1, 2, 3))
+    print()
+    print(result.render())
+    # Duplication is cheap insurance: negligible on steady paths, a
+    # large rescue when a path degrades mid-transaction.
+    steady = result.cells["steady paths"]
+    degrading = result.cells["degrading path"]
+    assert abs(steady.rescue_benefit) < 0.15
+    assert steady.waste_with_mb < 2.0
+    assert degrading.rescue_benefit > 0.5

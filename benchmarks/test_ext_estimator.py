@@ -1,0 +1,17 @@
+"""Ablation §6 — allowance-estimator design space."""
+
+from repro.experiments import ext_estimator
+
+
+def test_ext_estimator(once):
+    result = once(ext_estimator.run, n_users=1500)
+    print()
+    print(result.render())
+    # The paper's tau=5, alpha=4 sits on the utilisation/overrun frontier
+    # of its own family and beats the naive last-month estimator.
+    assert result.paper_choice_on_frontier()
+    assert (
+        result.last_month.overrun_days_per_month
+        > result.paper_point.overrun_days_per_month
+    )
+    assert result.paper_point.overrun_days_per_month < 1.0

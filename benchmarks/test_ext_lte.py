@@ -1,0 +1,16 @@
+"""Extension §2.3 — 3GOL over LTE vs HSPA."""
+
+from repro.experiments import ext_lte
+
+
+def test_ext_lte(once):
+    result = once(ext_lte.run, seeds=(0, 1, 2, 3))
+    print()
+    print(result.render())
+    # §2.3's claims: LTE makes 3GOL "even more compelling" and the
+    # powerboosting window "extremely short".
+    assert result.speedup("3GOL over LTE") > result.speedup("3GOL over HSPA")
+    assert (
+        result.cells["3GOL over LTE"].cell_busy_s
+        < result.cells["3GOL over HSPA"].cell_busy_s * 0.7
+    )

@@ -1,0 +1,14 @@
+"""Extension §5 — the omitted MP-TCP comparison."""
+
+from repro.experiments import ext_mptcp
+
+
+def test_ext_mptcp(once):
+    result = once(ext_mptcp.run, seeds=(0, 1, 2, 3, 4))
+    print()
+    print(result.render())
+    # Paper: MP-TCP "provided no benefit" under coupled congestion
+    # control, while the application-level scheduler captures the sum.
+    assert result.benefit_over_adsl("MPTCP-CCC") < 0.2
+    assert result.benefit_over_adsl("3GOL-GRD") > 0.5
+    assert result.times["MPTCP-uncoupled"] < result.times["MPTCP-CCC"] / 2

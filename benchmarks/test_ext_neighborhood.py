@@ -1,0 +1,15 @@
+"""Extension — simultaneous 3GOL adopters sharing one cell."""
+
+from repro.experiments import ext_neighborhood
+
+
+def test_ext_neighborhood(once):
+    result = once(ext_neighborhood.run, seeds=(0, 1, 2))
+    print()
+    print(result.render())
+    # The flow-level counterpart of Fig. 11c: per-home benefit erodes as
+    # neighbours adopt, but stays positive at the studied densities —
+    # the motivation for the §2.4 permit backend rather than a deal-breaker.
+    assert result.speedup_erodes()
+    assert result.still_beneficial_at_max()
+    assert result.points[0].speedup > 1.8

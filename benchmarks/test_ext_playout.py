@@ -1,0 +1,22 @@
+"""Extension §4.1.1 — playout-phase coverage."""
+
+from repro.experiments import ext_playout
+
+
+def test_ext_playout(once):
+    result = once(ext_playout.run, seeds=tuple(range(8)))
+    print()
+    print(result.render())
+    adsl = result.cells["ADSL"]
+    # A 1.5 Mbps rendition cannot stream on a 1.1 Mbps line...
+    assert adsl.stall_count > 3
+    # ...but 3GOL makes it smooth, with either scheduler.
+    for config in ("GRD", "DLN"):
+        cell = result.cells[config]
+        assert cell.stall_time_s < 5.0
+        assert cell.startup_delay_s < adsl.startup_delay_s
+    # The deadline extension never regresses the viewer experience.
+    assert (
+        result.cells["DLN"].stall_time_s
+        <= result.cells["GRD"].stall_time_s + 2.0
+    )

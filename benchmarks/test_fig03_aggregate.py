@@ -1,0 +1,29 @@
+"""Fig. 3 — aggregate 3G throughput vs number of devices."""
+
+from repro.experiments import fig03_aggregate
+from repro.netsim.topology import MEASUREMENT_LOCATIONS
+from repro.util.units import mbps
+
+
+def test_fig03_aggregate(once):
+    result = once(
+        fig03_aggregate.run,
+        locations=MEASUREMENT_LOCATIONS[:4],
+        repetitions=3,
+        seeds=(0, 1),
+    )
+    print()
+    print(result.render())
+    # Downlink reaches up to ~14 Mbps at the best location.
+    best_down = max(
+        result.series(loc.name, "down")[-1]
+        for loc in MEASUREMENT_LOCATIONS[:4]
+    )
+    assert mbps(9) < best_down < mbps(17)
+    # Uplink plateaus near the 5.76 Mbps HSUPA cap at single-domain
+    # locations (1, 2, 4)...
+    for name in ("location1", "location2", "location4"):
+        assert result.series(name, "up")[-1] < mbps(6.5)
+        assert result.plateau_ratio(name, "up") < 1.4
+    # ...while Location 3 exceeds a single channel (two domains).
+    assert result.series("location3", "up")[-1] > mbps(5.0)

@@ -1,0 +1,28 @@
+"""Fig. 4 — throughput by hour of day, groups of 1/3/5 devices."""
+
+from repro.experiments import fig04_temporal
+from repro.netsim.topology import MEASUREMENT_LOCATIONS
+from repro.util.units import mbps
+
+
+def test_fig04_temporal(once):
+    result = once(
+        fig04_temporal.run,
+        locations=MEASUREMENT_LOCATIONS[:6],
+        hours=tuple(range(0, 24, 2)),
+        days=2,
+    )
+    print()
+    print(result.render())
+    # Single-device throughput can reach ~2.5 Mbps depending on the hour.
+    assert mbps(1.2) < result.single_device_peak_bps("down") < mbps(3.2)
+    assert mbps(0.9) < result.single_device_peak_bps("up") < mbps(3.0)
+    # Per-device throughput falls as the group grows (both directions).
+    for direction in ("down", "up"):
+        means = {
+            g: sum(result.series(direction, g)) / len(result.hours)
+            for g in (1, 3, 5)
+        }
+        assert means[1] > means[3] > means[5]
+    # Diurnal variation exists but is small (low congestion).
+    assert 1.05 < result.diurnal_swing("down", 5) < 3.0

@@ -1,0 +1,24 @@
+"""Fig. 5 — per-base-station throughput distributions."""
+
+from repro.experiments import fig05_stations
+from repro.netsim.topology import MEASUREMENT_LOCATIONS
+from repro.util.units import mbps
+
+
+def test_fig05_stations(once):
+    result = once(
+        fig05_stations.run,
+        locations=MEASUREMENT_LOCATIONS[:6],
+        days=2,
+    )
+    print()
+    print(result.render())
+    medians = [v.median for v in result.violins.values()]
+    # Paper: a station provides ~0.7-2.5 Mbps per device, far above the
+    # 360/64 kbps dedicated-channel reference lines.
+    assert all(m > result.dedicated_down_bps for m in medians)
+    assert min(medians) > mbps(0.25)
+    assert max(medians) < mbps(3.0)
+    # At least two stations serve devices at every studied location.
+    for location in MEASUREMENT_LOCATIONS[:4]:
+        assert len(result.stations_for(location.name)) >= 2

@@ -1,0 +1,19 @@
+"""Fig. 6 — scheduler comparison (GRD vs RR vs MIN) on the 2 Mbps testbed."""
+
+from repro.experiments import fig06_scheduler
+
+
+def test_fig06_scheduler(once):
+    result = once(fig06_scheduler.run, phone_counts=(1, 2), repetitions=10)
+    print()
+    print(result.render())
+    for quality in ("Q1", "Q2", "Q3", "Q4"):
+        for phones in (1, 2):
+            # GRD fastest; every scheduler beats ADSL alone.
+            assert result.ordering_holds(quality, phones)
+    # The MIN estimator pathology is strongest at the higher qualities
+    # (paper: MIN worst overall).
+    assert result.time("Q4", "MIN", 1) > result.time("Q4", "GRD", 1) * 1.3
+    assert result.time("Q3", "MIN", 2) > result.time("Q3", "GRD", 2) * 1.2
+    # 3GOL with one phone at least halves the ADSL-alone download time.
+    assert result.time("Q4", "GRD", 1) < result.time("Q4", "ADSL") / 2.0

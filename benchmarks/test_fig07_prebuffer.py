@@ -1,0 +1,23 @@
+"""Fig. 7 — pre-buffering gain vs pre-buffer amount."""
+
+from repro.experiments import fig07_prebuffer
+
+
+def test_fig07_prebuffer(once):
+    result = once(fig07_prebuffer.run, repetitions=4)
+    print()
+    print(result.render())
+    for location in ("loc2", "loc4"):
+        # Gain grows with video quality (Q4 > Q1 at full pre-buffer)...
+        q1 = result.gain(location, "3G_1PH", "Q1", 1.0)
+        q4 = result.gain(location, "3G_1PH", "Q4", 1.0)
+        assert q4 > q1
+        # ...and with the pre-buffer amount.
+        series = result.gains[(location, "3G_1PH", "Q4")]
+        assert series[-1] > series[0]
+        # Second phone improves the best gain (paper: +26-35%).
+        assert result.best_gain(location, "3G_2PH") > result.best_gain(
+            location, "3G_1PH"
+        )
+    # Gains are seconds-scale, as in the paper's panels.
+    assert 3.0 < result.best_gain("loc4", "3G_1PH") < 60.0

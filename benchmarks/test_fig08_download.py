@@ -1,0 +1,23 @@
+"""Fig. 8 — total video download-time reduction per location."""
+
+from repro.experiments import fig08_download
+
+
+def test_fig08_download(once):
+    result = once(fig08_download.run, repetitions=4)
+    print()
+    print(result.render())
+    values = list(result.reductions.values())
+    # Paper band: 38-72% (speedups x1.5-x4.1). Our calibrated band is
+    # slightly lower on top; the key structure must hold exactly.
+    assert min(values) > 20.0
+    assert max(values) < 75.0
+    for location in ("loc1", "loc2", "loc3", "loc4", "loc5"):
+        # The second device always helps...
+        assert result.second_phone_benefit(location, connected=False) > 0.0
+        # ...while a connected-mode start brings only marginal gains.
+        h_gain = result.reduction(location, "H_1PH") - result.reduction(
+            location, "3G_1PH"
+        )
+        assert h_gain < 12.0
+        assert result.speedup(location, "3G_2PH") > 1.5

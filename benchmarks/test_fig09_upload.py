@@ -1,0 +1,20 @@
+"""Fig. 9 — photo-upload times: ADSL vs one and two phones."""
+
+from repro.experiments import fig09_upload
+
+
+def test_fig09_upload(once):
+    result = once(fig09_upload.run, repetitions=4)
+    print()
+    print(result.render())
+    for location in ("loc1", "loc2", "loc3", "loc4", "loc5"):
+        one = result.speedup(location, 1)
+        two = result.speedup(location, 2)
+        # Paper: x1.5-x4.0 with one device, x2.2-x6.2 with two.
+        assert 1.25 < one < 4.5
+        assert 1.6 < two < 7.0
+        # Gains are sublinear in the device count.
+        assert two < 2.0 * one
+    # The slow uplinks (~0.6 Mbps) see upload times near the paper's
+    # hundreds of seconds for 30 photos.
+    assert 600.0 < result.time("loc5", 0) < 1200.0

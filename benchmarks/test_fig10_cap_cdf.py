@@ -1,0 +1,16 @@
+"""Fig. 10 — CDF of the used fraction of the cellular cap."""
+
+import pytest
+
+from repro.experiments import fig10_cap_cdf
+
+
+def test_fig10_cap_cdf(once):
+    result = once(fig10_cap_cdf.run, n_users=5000, seed=0)
+    print()
+    print(result.render())
+    # Paper: 40% of customers use <10% of cap; 75% use <50%.
+    assert result.fraction_below_10pct == pytest.approx(0.40, abs=0.05)
+    assert result.fraction_below_50pct == pytest.approx(0.75, abs=0.05)
+    # ~20 MB/day of already-paid-for leftover volume per user.
+    assert 10.0 < result.mean_daily_free_mb < 80.0

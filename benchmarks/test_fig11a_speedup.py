@@ -1,0 +1,16 @@
+"""Fig. 11a — per-user speedup CDF under the 40 MB/day budget."""
+
+import pytest
+
+from repro.experiments import fig11a_speedup
+
+
+def test_fig11a_speedup(once):
+    result = once(fig11a_speedup.run, n_subscribers=2000, seed=0)
+    print()
+    print(result.render())
+    # Paper: 50% of users see >= 1.2x (ours lands a few points lower, see
+    # EXPERIMENTS.md); 5% see >= 2x; the CDF ends near 2.6.
+    assert result.fraction_at_least_1_2 > 0.35
+    assert result.fraction_at_least_2_0 == pytest.approx(0.05, abs=0.03)
+    assert 2.2 < result.max_speedup <= 2.61

@@ -1,0 +1,18 @@
+"""Fig. 11b — onloaded cellular load vs backhaul capacity."""
+
+import pytest
+
+from repro.experiments import fig11b_load
+
+
+def test_fig11b_load(once):
+    result = once(fig11b_load.run, n_subscribers=2000, seed=0)
+    print()
+    print(result.render())
+    series = result.series
+    # Budgeted 3GOL fits within the 2 x 40 Mbps backhaul...
+    assert series.budgeted_overload_fraction() == 0.0
+    # ...unbudgeted 3GOL overloads it.
+    assert series.unbudgeted_peak_bps > series.backhaul_bps
+    # Paper: 29.78 MB onloaded per user per day under the budget.
+    assert result.mean_onload_mb_per_user == pytest.approx(29.78, abs=5.0)

@@ -1,0 +1,20 @@
+"""Fig. 11c — 3G traffic increase vs 3GOL adoption."""
+
+import pytest
+
+from repro.experiments import fig11c_adoption
+
+
+def test_fig11c_adoption(once):
+    result = once(fig11c_adoption.run, n_users=3000, seed=0)
+    print()
+    print(result.render())
+    assert result.is_monotone()
+    full = result.at(1.0)
+    # Paper: "in the case of 100% adoption, the increase ... around 100%".
+    assert full.total_increase == pytest.approx(1.0, abs=0.3)
+    # Peak-hour increase smaller than total, "albeit ... rather small".
+    assert full.peak_increase < full.total_increase
+    assert full.peak_increase > 0.5 * full.total_increase
+    # Modest increase at low adoption.
+    assert result.at(0.1).total_increase < 0.15

@@ -1,0 +1,19 @@
+"""The 30-household pilot the paper announced but never reported."""
+
+from repro.pilot import PilotStudy, generate_household_workloads
+
+
+def test_pilot_study(once):
+    def run():
+        plans = generate_household_workloads(n_households=30, seed=1)
+        return PilotStudy(plans, seed=1).run()
+
+    report = once(run)
+    print()
+    print(report.render())
+    # The fleet-level sanity the pilot would need to show before a wider
+    # rollout: consistent gains, most events boosted, bounded volume.
+    assert report.mean_video_speedup > 1.3
+    assert report.mean_upload_speedup > 2.0
+    assert report.boosted_event_fraction > 0.6
+    assert report.mean_onloaded_mb_per_household < 200.0

@@ -1,0 +1,18 @@
+"""§2.1 — back-of-envelope capacity comparison."""
+
+import pytest
+
+from repro.experiments import sec21_capacity
+
+
+def test_sec21_capacity(once):
+    result = once(sec21_capacity.run)
+    print()
+    print(result.render())
+    c = result.comparison
+    # Paper: ~4375 subscribers, 875 ADSL lines, 5.863 Gbps aggregate,
+    # 1-2 orders of magnitude above the 40-50 Mbps cell backhaul.
+    assert c.subscribers_in_cell == pytest.approx(4375, rel=0.02)
+    assert c.adsl_connections == pytest.approx(875, rel=0.02)
+    assert c.adsl_aggregate_down_bps == pytest.approx(5.863e9, rel=0.02)
+    assert 1.0 <= c.down_orders_of_magnitude <= 2.5

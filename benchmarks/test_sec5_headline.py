@@ -1,0 +1,14 @@
+"""§5 headline speedups (abstract/conclusions numbers)."""
+
+from repro.experiments import headline
+
+
+def test_sec5_headline(once):
+    result = once(headline.run, repetitions=3)
+    print()
+    print(result.render())
+    # Paper: x4 downlink and x6 uplink maxima; average transaction
+    # reduction 47%. Our simulator lands in the same regime.
+    assert 1.5 < result.max_download_speedup < 5.0
+    assert 2.0 < result.max_upload_speedup < 7.0
+    assert 25.0 < result.avg_transaction_reduction_pct < 60.0

@@ -1,0 +1,16 @@
+"""§6 — allowance estimator backtest (tau=5, alpha=4)."""
+
+from repro.experiments import sec6_estimator
+
+
+def test_sec6_estimator(once):
+    result = once(sec6_estimator.run, n_users=2000, seed=0)
+    print()
+    print(result.render())
+    point = result.paper_point
+    # Paper: ~65% of free capacity usable with overrun < 1 day/month.
+    assert 0.55 < point.utilization_of_free < 0.85
+    assert point.overrun_days_per_month < 1.0
+    # The guard trades utilisation against overruns monotonically.
+    assert result.utilization_decreases_with_alpha()
+    assert result.overruns_decrease_with_alpha()

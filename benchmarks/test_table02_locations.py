@@ -1,0 +1,21 @@
+"""Table 2 — six locations, three devices: DSL vs 3GOL speedups."""
+
+from repro.experiments import table02_locations
+
+
+def test_table02_locations(once):
+    result = once(table02_locations.run, repetitions=3, seeds=(0, 1, 2))
+    print()
+    print(result.render())
+    # Headline: location 1 sees the largest boosts (x2.67 down, x12.93 up).
+    loc1 = result.row("location1")
+    assert 1.8 < loc1.speedup_down < 3.6
+    assert 8.0 < loc1.speedup_up < 18.0
+    # The VDSL-class location 6 barely gains (paper: x1.04/x1.14).
+    loc6 = result.row("location6")
+    assert loc6.speedup_down < 1.25
+    assert loc6.speedup_up < 1.8
+    # Every location gains in both directions; uplink gains dominate.
+    for row in result.rows:
+        assert row.speedup_down > 1.0
+        assert row.speedup_up > row.speedup_down * 0.9

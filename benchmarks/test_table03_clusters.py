@@ -1,0 +1,17 @@
+"""Table 3 — per-device throughput by cluster size (1/3/5)."""
+
+from repro.experiments import table03_clusters
+from repro.util.units import mbps
+
+
+def test_table03_clusters(once):
+    result = once(table03_clusters.run, days=2)
+    print()
+    print(result.render())
+    # Paper: per-device mean decreases with cluster size, both directions
+    # (down 1.61/1.33/1.16 Mbps; up 1.09/0.90/0.65 Mbps).
+    assert result.is_decreasing("down")
+    assert result.is_decreasing("up")
+    assert mbps(0.9) < result.per_device(1, "down").mean_bps < mbps(2.4)
+    assert mbps(0.6) < result.per_device(1, "up").mean_bps < mbps(1.9)
+    assert result.per_device(5, "up").mean_bps < mbps(1.3)

@@ -1,0 +1,24 @@
+"""Table 4 — the five in-the-wild evaluation locations."""
+
+import pytest
+
+from repro.experiments import table04_eval_locations
+from repro.util.units import mbps
+
+
+def test_table04_eval_locations(once):
+    result = once(table04_eval_locations.run)
+    print()
+    print(result.render())
+    expected = [
+        ("loc1", 6.48, 0.83, -81),
+        ("loc2", 21.64, 2.77, -95),
+        ("loc3", 8.67, 0.62, -97),
+        ("loc4", 6.20, 0.65, -89),
+        ("loc5", 6.82, 0.58, -89),
+    ]
+    for row, (name, down, up, dbm) in zip(result.rows, expected):
+        assert row.name == name
+        assert row.measured_down_bps == pytest.approx(mbps(down), rel=0.05)
+        assert row.measured_up_bps == pytest.approx(mbps(up), rel=0.05)
+        assert row.signal_dbm == dbm

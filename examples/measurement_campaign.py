@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Reproduce the §3 measurement campaign at a custom location.
+
+Defines a new location profile (as an operator would for a new deployment
+area), then runs the handset campaign: aggregate throughput while adding
+devices one by one, like the paper's Fig. 3.
+"""
+
+from repro import LocationProfile
+from repro.traces.handsets import measure_cluster_throughput
+from repro.util.units import mbps
+
+
+def main() -> None:
+    location = LocationProfile(
+        name="my-suburb",
+        description="Custom suburban deployment, measured at 11 p.m.",
+        adsl_down_bps=mbps(4.0),
+        adsl_up_bps=mbps(0.5),
+        signal_dbm=-84.0,
+        n_stations=2,
+        peak_utilization=0.45,
+        measurement_hour=23.0,
+    )
+    print(f"Campaign at {location.name!r} ({location.description})\n")
+    print(f"{'devices':>7s} {'downlink':>10s} {'uplink':>10s}")
+    for devices in (1, 2, 3, 5, 7, 10):
+        row = {}
+        for direction in ("down", "up"):
+            samples = measure_cluster_throughput(
+                location, devices, direction=direction,
+                repetitions=4, seed=1,
+            )
+            row[direction] = sum(s.aggregate_bps for s in samples) / len(samples)
+        print(
+            f"{devices:>7d} {row['down'] / 1e6:8.2f} Mb {row['up'] / 1e6:8.2f} Mb"
+        )
+    print(
+        "\nNote the uplink plateau near the 5.76 Mbps HSUPA channel cap "
+        "while the downlink keeps scaling across sectors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Uplink onloading: upload a photo set at all five evaluation locations.
+
+Reproduces the shape of Fig. 9: ADSL uplinks of 0.6-2.8 Mbps make photo
+upload painfully slow; one phone cuts the time by more than half, a second
+phone helps further but sub-linearly.
+"""
+
+from repro import EVALUATION_LOCATIONS
+from repro.experiments import wild
+from repro.traces.pictures import generate_photo_set
+
+
+def main() -> None:
+    photos = generate_photo_set(count=30, seed=11)
+    total_mb = sum(p.size_bytes for p in photos) / 1e6
+    print(f"Uploading {len(photos)} photos ({total_mb:.1f} MB total)\n")
+    print(f"{'location':<8s} {'ADSL':>8s} {'1 phone':>8s} {'2 phones':>9s}"
+          f" {'speedup':>8s}")
+    for location in EVALUATION_LOCATIONS:
+        times = {}
+        for n_phones in (0, 1, 2):
+            session = wild.make_session(
+                location, n_phones=max(n_phones, 1), seed=5
+            )
+            report = session.upload_photos(
+                photos, use_3gol=n_phones > 0, max_phones=n_phones or None
+            )
+            times[n_phones] = report.total_time
+        print(
+            f"{location.name:<8s} {times[0]:7.0f}s {times[1]:7.0f}s "
+            f"{times[2]:8.0f}s x{times[0] / times[2]:6.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Powerboosting video-on-demand: the §5.2 pre-buffer sweep, condensed.
+
+For one location, sweeps the four bipbop qualities and pre-buffer amounts
+from 20% to 100% of the video, printing the seconds 3GOL shaves off the
+player's startup wait with one and two phones — the shape of the paper's
+Fig. 7.
+"""
+
+from repro import EVALUATION_LOCATIONS
+from repro.experiments import wild
+from repro.experiments.fig07_prebuffer import prebuffer_times
+
+LOCATION = EVALUATION_LOCATIONS[3]  # loc4, the slowest ADSL
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+QUALITIES = ("Q1", "Q2", "Q3", "Q4")
+
+
+def measure(n_phones: int, use_3gol: bool, quality: str, seed: int = 3):
+    session = wild.make_session(LOCATION, n_phones=max(n_phones, 1), seed=seed)
+    video = session.host_bipbop()
+    playlist = video.playlist(quality)
+    report = session.download_video(
+        "bipbop", quality, use_3gol=use_3gol, prebuffer_fraction=None
+    )
+    return prebuffer_times(report, playlist, FRACTIONS)
+
+
+def main() -> None:
+    print(f"Pre-buffer gains at {LOCATION.name} ({LOCATION.description})")
+    header = "quality  " + "  ".join(f"{int(f * 100):>4d}%" for f in FRACTIONS)
+    for n_phones in (1, 2):
+        print(f"\n--- {n_phones} phone(s), gain in seconds vs ADSL alone ---")
+        print(header)
+        for quality in QUALITIES:
+            base = measure(n_phones, use_3gol=False, quality=quality)
+            boosted = measure(n_phones, use_3gol=True, quality=quality)
+            gains = [max(0.0, b - o) for b, o in zip(base, boosted)]
+            print(
+                f"{quality:<7s}  "
+                + "  ".join(f"{g:5.1f}" for g in gains)
+            )
+
+
+if __name__ == "__main__":
+    main()

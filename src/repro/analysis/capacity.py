@@ -1,0 +1,88 @@
+"""The §2.1 back-of-envelope capacity comparison.
+
+"If we assume that one cellular tower provides coverage to an area of 200
+meters radius, and a typical population density of 35 000 inhabitants per
+km², then each cell offers services to 4 375 subscribers. If we assume
+that each household has 4 people and that we have 80% penetration of ADSL
+connectivity, then each cell covers 875 ADSL connections. […] with an
+average downlink speed of 6.7 Mbps, the overall ADSL downlink capacity for
+the cell area would be 5.863 Gbps. The same area is covered by a cell
+tower with a typical 40-50 Mbps backhaul […]. Therefore the cellular
+network is 1-2 orders of magnitude smaller in terms of capacity than its
+wired counterpart."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import mbps
+from repro.util.validate import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class CellAreaAssumptions:
+    """The §2.1 assumptions, overridable for sensitivity analysis."""
+
+    cell_radius_m: float = 200.0
+    population_per_km2: float = 35_000.0
+    people_per_household: float = 4.0
+    adsl_penetration: float = 0.80
+    adsl_down_bps: float = mbps(6.7)
+    adsl_up_down_asymmetry: float = 0.10
+    cell_backhaul_bps: float = mbps(45.0)
+
+    def __post_init__(self) -> None:
+        check_positive("cell_radius_m", self.cell_radius_m)
+        check_positive("population_per_km2", self.population_per_km2)
+        check_positive("people_per_household", self.people_per_household)
+        check_fraction("adsl_penetration", self.adsl_penetration)
+        check_positive("adsl_down_bps", self.adsl_down_bps)
+        check_positive("adsl_up_down_asymmetry", self.adsl_up_down_asymmetry)
+        check_positive("cell_backhaul_bps", self.cell_backhaul_bps)
+
+
+@dataclass(frozen=True)
+class CapacityComparison:
+    """Result of the back-of-envelope calculation."""
+
+    subscribers_in_cell: float
+    adsl_connections: float
+    adsl_aggregate_down_bps: float
+    adsl_aggregate_up_bps: float
+    cell_backhaul_bps: float
+
+    @property
+    def down_ratio(self) -> float:
+        """ADSL aggregate downlink over cellular backhaul."""
+        return self.adsl_aggregate_down_bps / self.cell_backhaul_bps
+
+    @property
+    def up_ratio(self) -> float:
+        """ADSL aggregate uplink over cellular backhaul."""
+        return self.adsl_aggregate_up_bps / self.cell_backhaul_bps
+
+    @property
+    def down_orders_of_magnitude(self) -> float:
+        """log10 of the downlink ratio (the paper claims 1-2)."""
+        return math.log10(self.down_ratio)
+
+
+def compare_capacity(
+    assumptions: CellAreaAssumptions = CellAreaAssumptions(),
+) -> CapacityComparison:
+    """Run the §2.1 calculation under ``assumptions``."""
+    area_km2 = math.pi * (assumptions.cell_radius_m / 1000.0) ** 2
+    subscribers = area_km2 * assumptions.population_per_km2
+    households = subscribers / assumptions.people_per_household
+    adsl_connections = households * assumptions.adsl_penetration
+    aggregate_down = adsl_connections * assumptions.adsl_down_bps
+    aggregate_up = aggregate_down * assumptions.adsl_up_down_asymmetry
+    return CapacityComparison(
+        subscribers_in_cell=subscribers,
+        adsl_connections=adsl_connections,
+        adsl_aggregate_down_bps=aggregate_down,
+        adsl_aggregate_up_bps=aggregate_up,
+        cell_backhaul_bps=assumptions.cell_backhaul_bps,
+    )

@@ -1,0 +1,101 @@
+"""Cap economics (§6).
+
+The paper frames the multi-provider problem economically: "one needs to
+be careful using 3G data in order to avoid penalties associated with
+exceeding the enforced cellular data plans [23]" and cites the 'price of
+uncertainty' [4]. This module prices the allowance estimator's choices:
+given an overage tariff, every guard setting α maps to an expected
+monthly overage cost *and* an amount of boost volume released — i.e. an
+effective price per onloaded gigabyte, which is the number an operator or
+user would actually decide on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.allowance import AllowanceEstimator
+from repro.traces.mno import MnoDataset
+from repro.util.units import GB
+from repro.util.validate import check_non_negative
+
+#: Typical 2013-era European overage pricing: roughly 10 EUR per GB
+#: beyond the cap (often billed in 100 MB blocks; we price linearly).
+DEFAULT_OVERAGE_EUR_PER_GB = 10.0
+
+
+@dataclass(frozen=True)
+class GuardEconomics:
+    """The money view of one guard setting."""
+
+    alpha: float
+    #: Boost volume the estimator released, GB per user-month (mean).
+    released_gb_per_month: float
+    #: Expected overage, GB per user-month (mean).
+    overage_gb_per_month: float
+    #: Expected overage cost, EUR per user-month (mean).
+    overage_cost_eur_per_month: float
+
+    @property
+    def effective_eur_per_boost_gb(self) -> float:
+        """Overage cost per gigabyte of released boost volume."""
+        if self.released_gb_per_month <= 0.0:
+            return float("inf")
+        return self.overage_cost_eur_per_month / self.released_gb_per_month
+
+
+def price_guard_settings(
+    dataset: MnoDataset,
+    alphas: Sequence[float],
+    tau: int = 5,
+    overage_eur_per_gb: float = DEFAULT_OVERAGE_EUR_PER_GB,
+) -> List[GuardEconomics]:
+    """Backtest each guard setting and price its overruns.
+
+    For every user-month with at least ``tau`` months of history, the
+    month's allowance is granted in full; the *overage* is the volume by
+    which (actual usage + allowance) would exceed the cap — the worst
+    case where 3GOL spends everything it was granted.
+    """
+    check_non_negative("overage_eur_per_gb", overage_eur_per_gb)
+    results = []
+    caps = dataset.cap_by_user()
+    for alpha in alphas:
+        estimator = AllowanceEstimator(tau=tau, alpha=float(alpha))
+        released = 0.0
+        overage = 0.0
+        user_months = 0
+        for user in dataset.users:
+            cap = caps[user.user_id]
+            series = list(user.monthly_usage_bytes)
+            for t in range(tau, len(series)):
+                decision = estimator.estimate(cap, series[t - tau : t])
+                granted = decision.monthly_allowance_bytes
+                released += granted
+                overage += max(0.0, series[t] + granted - cap)
+                user_months += 1
+        if user_months == 0:
+            raise ValueError(
+                f"no user-month has more than tau={tau} months of history"
+            )
+        released_gb = released / user_months / GB
+        overage_gb = overage / user_months / GB
+        results.append(
+            GuardEconomics(
+                alpha=float(alpha),
+                released_gb_per_month=released_gb,
+                overage_gb_per_month=overage_gb,
+                overage_cost_eur_per_month=overage_gb * overage_eur_per_gb,
+            )
+        )
+    return results
+
+
+def cheapest_guard(
+    economics: Sequence[GuardEconomics],
+) -> GuardEconomics:
+    """The guard with the lowest effective price per boost gigabyte."""
+    if not economics:
+        raise ValueError("need at least one guard setting")
+    return min(economics, key=lambda e: e.effective_eur_per_boost_gb)

@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                 # experiment catalogue
+    python -m repro run fig06            # one experiment, printed
+    python -m repro locations            # the location presets
+    python -m repro pilot --households 30
+    python -m repro report [PATH]        # regenerate EXPERIMENTS.md
+
+Experiments run at their benchmark sizes; for custom parameters import
+the modules from :mod:`repro.experiments` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.topology import EVALUATION_LOCATIONS, MEASUREMENT_LOCATIONS
+
+#: Experiment id -> (module name, one-line description). ``run`` calls the
+#: module's ``run()`` with defaults and prints ``result.render()``.
+EXPERIMENTS: Dict[str, Tuple[str, str]] = {
+    "fig01": ("fig01_diurnal", "diurnal wired vs mobile traffic (Fig. 1)"),
+    "fig03": ("fig03_aggregate", "aggregate 3G throughput vs devices (Fig. 3)"),
+    "fig04": ("fig04_temporal", "throughput by hour, groups of 1/3/5 (Fig. 4)"),
+    "fig05": ("fig05_stations", "per-base-station distributions (Fig. 5)"),
+    "table02": ("table02_locations", "six locations, three devices (Table 2)"),
+    "table03": ("table03_clusters", "per-device rate by cluster size (Table 3)"),
+    "fig06": ("fig06_scheduler", "GRD vs RR vs MIN schedulers (Fig. 6)"),
+    "table04": ("table04_eval_locations", "evaluation locations (Table 4)"),
+    "fig07": ("fig07_prebuffer", "pre-buffering gains (Fig. 7)"),
+    "fig08": ("fig08_download", "download-time reductions (Fig. 8)"),
+    "fig09": ("fig09_upload", "photo-upload times (Fig. 9)"),
+    "fig10": ("fig10_cap_cdf", "CDF of used cap fraction (Fig. 10)"),
+    "fig11a": ("fig11a_speedup", "speedup CDF under budget (Fig. 11a)"),
+    "fig11b": ("fig11b_load", "onloaded load vs backhaul (Fig. 11b)"),
+    "fig11c": ("fig11c_adoption", "traffic increase vs adoption (Fig. 11c)"),
+    "sec21": ("sec21_capacity", "capacity back-of-envelope (S2.1)"),
+    "sec6est": ("sec6_estimator", "allowance-estimator backtest (S6)"),
+    "headline": ("headline", "S5 headline speedups"),
+    "ext-lte": ("ext_lte", "extension: 3GOL over LTE (S2.3)"),
+    "ext-mptcp": ("ext_mptcp", "extension: the omitted MP-TCP comparison"),
+    "ext-playout": ("ext_playout", "extension: playout-phase coverage"),
+    "ext-dslam": ("ext_dslam", "extension: DSLAM oversubscription"),
+    "ext-estimator": ("ext_estimator", "ablation: estimator design space"),
+    "ext-neighborhood": (
+        "ext_neighborhood",
+        "extension: adopters sharing one cell",
+    ),
+    "ext-duplication": ("ext_duplication", "ablation: endgame duplication"),
+    "ext-min-tuning": ("ext_min_tuning", "ablation: tuning the MIN scheduler"),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(key) for key in EXPERIMENTS)
+    for key, (_, description) in EXPERIMENTS.items():
+        print(f"{key:<{width}}  {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    entry = EXPERIMENTS.get(args.experiment)
+    if entry is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            "see `python -m repro list`",
+            file=sys.stderr,
+        )
+        return 2
+    module = importlib.import_module(f"repro.experiments.{entry[0]}")
+    result = module.run()
+    print(result.render())
+    return 0
+
+
+def _cmd_locations(_args: argparse.Namespace) -> int:
+    print("Measurement locations (Table 2):")
+    for location in MEASUREMENT_LOCATIONS:
+        print(
+            f"  {location.name:<10s} "
+            f"{location.adsl_down_bps / 1e6:5.2f}/"
+            f"{location.adsl_up_bps / 1e6:5.2f} Mbps  "
+            f"{location.signal_dbm:4.0f} dBm  {location.description}"
+        )
+    print("Evaluation locations (Table 4):")
+    for location in EVALUATION_LOCATIONS:
+        print(
+            f"  {location.name:<10s} "
+            f"{location.adsl_down_bps / 1e6:5.2f}/"
+            f"{location.adsl_up_bps / 1e6:5.2f} Mbps  "
+            f"{location.signal_dbm:4.0f} dBm  {location.description}"
+        )
+    return 0
+
+
+def _cmd_pilot(args: argparse.Namespace) -> int:
+    from repro.pilot import PilotStudy, generate_household_workloads
+
+    plans = generate_household_workloads(
+        n_households=args.households, seed=args.seed
+    )
+    report = PilotStudy(plans, seed=args.seed).run()
+    print(report.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import main as report_main
+
+    return report_main(["report", args.output])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of '3GOL: Power-boosting ADSL using 3G "
+            "OnLoading' (CoNEXT 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment catalogue").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see list)")
+    run_parser.set_defaults(func=_cmd_run)
+
+    sub.add_parser(
+        "locations", help="print the location presets"
+    ).set_defaults(func=_cmd_locations)
+
+    pilot_parser = sub.add_parser(
+        "pilot", help="simulate the 30-household pilot"
+    )
+    pilot_parser.add_argument("--households", type=int, default=30)
+    pilot_parser.add_argument("--seed", type=int, default=0)
+    pilot_parser.set_defaults(func=_cmd_pilot)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md"
+    )
+    report_parser.add_argument(
+        "output", nargs="?", default="EXPERIMENTS.md"
+    )
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

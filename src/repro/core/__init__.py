@@ -1,0 +1,73 @@
+"""The 3GOL system — the paper's primary contribution.
+
+Layout mirrors the architecture of Fig. 2:
+
+* the multipath scheduler (:mod:`repro.core.scheduler`) with the paper's
+  greedy policy and the RR / MIN baselines;
+* the client components: :mod:`repro.core.proxy` (HLS-aware prefetching
+  proxy) and :mod:`repro.core.uploader` (multipart POST uploader);
+* the mobile component (:mod:`repro.core.mobile`) with its advertisement
+  policy over :mod:`repro.core.discovery`;
+* the authorisation machinery: :mod:`repro.core.permits`
+  (network-integrated) and :mod:`repro.core.captracker` +
+  :mod:`repro.core.allowance` (multi-provider, §6);
+* :mod:`repro.core.session` — the facade wiring a household together.
+"""
+
+from repro.core.items import (
+    Direction,
+    Transaction,
+    TransferItem,
+    items_from_sizes,
+)
+from repro.core.scheduler import (
+    GreedyPolicy,
+    MinTimePolicy,
+    RoundRobinPolicy,
+    TransactionResult,
+    TransactionRunner,
+    make_policy,
+)
+from repro.core.allowance import (
+    AllowanceDecision,
+    AllowanceEstimator,
+    EstimatorEvaluation,
+    evaluate_estimator,
+)
+from repro.core.captracker import CapTracker
+from repro.core.permits import Permit, PermitServer
+from repro.core.discovery import DiscoveryRegistry, ServiceRecord
+from repro.core.mobile import MobileComponent, OperatingMode
+from repro.core.proxy import HlsAwareProxy, VideoDownloadReport
+from repro.core.uploader import MultipartUploader, UploadReport
+from repro.core.session import DEFAULT_DAILY_BUDGET_BYTES, OnloadSession
+
+__all__ = [
+    "Direction",
+    "Transaction",
+    "TransferItem",
+    "items_from_sizes",
+    "GreedyPolicy",
+    "MinTimePolicy",
+    "RoundRobinPolicy",
+    "TransactionResult",
+    "TransactionRunner",
+    "make_policy",
+    "AllowanceDecision",
+    "AllowanceEstimator",
+    "EstimatorEvaluation",
+    "evaluate_estimator",
+    "CapTracker",
+    "Permit",
+    "PermitServer",
+    "DiscoveryRegistry",
+    "ServiceRecord",
+    "MobileComponent",
+    "OperatingMode",
+    "HlsAwareProxy",
+    "VideoDownloadReport",
+    "MultipartUploader",
+    "UploadReport",
+    "DEFAULT_DAILY_BUDGET_BYTES",
+    "OnloadSession",
+]

@@ -1,0 +1,73 @@
+"""Device-side cap tracking (§6).
+
+In the multi-provider architecture "the component running on the cellular
+device can track 3GOL data usage U(t) and estimate the 3GOL allowance
+3GOLa(t). If the available quota A(t) = 3GOLa(t) − U(t) is greater than
+zero, the device advertises itself. […] Thus, we need no input from the
+network."
+
+:class:`CapTracker` is that component: it holds the device's daily budget,
+meters every byte the 3GOL proxy moves, and answers the single question the
+discovery layer asks — *may this device advertise right now?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.validate import check_non_negative
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass
+class CapTracker:
+    """Tracks 3GOL usage against a per-day budget, with daily reset."""
+
+    daily_budget_bytes: float
+    #: Usage already metered today (bytes).
+    used_today_bytes: float = 0.0
+    #: Day index (simulation time // 86400) the counter belongs to.
+    current_day: int = 0
+    #: Total usage per day index, kept for analysis.
+    usage_by_day: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_non_negative("daily_budget_bytes", self.daily_budget_bytes)
+        check_non_negative("used_today_bytes", self.used_today_bytes)
+
+    def _roll(self, now: float) -> None:
+        day = int(now // _SECONDS_PER_DAY)
+        if day != self.current_day:
+            if day < self.current_day:
+                raise ValueError("time went backwards in CapTracker")
+            self.current_day = day
+            self.used_today_bytes = 0.0
+
+    def available_bytes(self, now: float) -> float:
+        """A(t): remaining 3GOL quota for the current day."""
+        self._roll(now)
+        return max(0.0, self.daily_budget_bytes - self.used_today_bytes)
+
+    def may_advertise(self, now: float) -> bool:
+        """Paper rule: advertise iff A(t) > 0."""
+        return self.available_bytes(now) > 0.0
+
+    def record_usage(self, nbytes: float, now: float) -> None:
+        """Meter ``nbytes`` of 3GOL traffic at time ``now``.
+
+        Usage may overshoot the budget: the device only *stops offering*
+        once over budget, it does not abort an in-flight transfer (same as
+        the prototype). The overshoot shows up in ``usage_by_day``.
+        """
+        check_non_negative("nbytes", nbytes)
+        self._roll(now)
+        self.used_today_bytes += nbytes
+        day = self.current_day
+        self.usage_by_day[day] = self.usage_by_day.get(day, 0.0) + nbytes
+
+    @property
+    def total_used_bytes(self) -> float:
+        """All 3GOL bytes ever metered by this tracker."""
+        return sum(self.usage_by_day.values())

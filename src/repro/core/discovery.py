@@ -1,0 +1,98 @@
+"""Bonjour-like service discovery on the home LAN (§2.4, §4.1).
+
+The mobile component "advertises the device availability through a
+discovery protocol like Bonjour only if the device has an active
+permission by the cellular network" (network-integrated) or while its cap
+quota A(t) is positive (multi-provider). The client component "builds the
+set of admissible cellular devices (denoted by Φ) by discovering them on
+the Wi-Fi network".
+
+This module models the registry: services announce and withdraw
+advertisements; a browser snapshot at time *t* yields Φ(t). TTL handling
+mirrors mDNS behaviour — a record that is not refreshed disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.validate import check_positive
+
+#: Service type string in DNS-SD convention.
+SERVICE_TYPE = "_3gol._tcp.local."
+#: Default advertisement time-to-live (mDNS default is 120 s for
+#: host records; we use the same order).
+DEFAULT_TTL = 120.0
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One advertisement: a device offering its 3G proxy on the LAN."""
+
+    device_name: str
+    port: int
+    announced_at: float
+    ttl: float = DEFAULT_TTL
+
+    def expires_at(self) -> float:
+        """Time the record ages out unless refreshed."""
+        return self.announced_at + self.ttl
+
+
+class DiscoveryRegistry:
+    """The LAN's view of advertised 3GOL proxies."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, ServiceRecord] = {}
+
+    def announce(
+        self,
+        device_name: str,
+        now: float,
+        port: int = 8080,
+        ttl: float = DEFAULT_TTL,
+    ) -> ServiceRecord:
+        """Publish (or refresh) a device's advertisement."""
+        if not device_name:
+            raise ValueError("device_name must be non-empty")
+        check_positive("ttl", ttl)
+        if not 1 <= port <= 65535:
+            raise ValueError(f"invalid port {port}")
+        record = ServiceRecord(
+            device_name=device_name, port=port, announced_at=now, ttl=ttl
+        )
+        self._records[device_name] = record
+        return record
+
+    def withdraw(self, device_name: str) -> bool:
+        """Remove a device's advertisement (goodbye packet).
+
+        Returns ``True`` if a record was present.
+        """
+        return self._records.pop(device_name, None) is not None
+
+    def browse(self, now: float) -> List[ServiceRecord]:
+        """Snapshot of live advertisements at ``now`` — the admissible set Φ.
+
+        Expired records are dropped from the registry as a side effect,
+        like an mDNS cache aging out.
+        """
+        live = []
+        for name in list(self._records):
+            record = self._records[name]
+            if record.expires_at() <= now:
+                del self._records[name]
+            else:
+                live.append(record)
+        return sorted(live, key=lambda r: r.device_name)
+
+    def lookup(self, device_name: str, now: float) -> Optional[ServiceRecord]:
+        """A single device's live record, or ``None``."""
+        record = self._records.get(device_name)
+        if record is None or record.expires_at() <= now:
+            return None
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,111 @@
+"""Network-integrated permit backend (§2.4).
+
+In the single-operator deployment, "each device receives the permission to
+transmit from the 3GOL backend server, which is revoked by the same when
+congestion is detected. The backend server interfaces with the 3G network
+monitoring system and checks whether utilization in the affected area is
+below an acceptance threshold. If it is, the transmission is authorized
+and a permit is cached for a certain duration (few minutes). Else, the
+transmission is denied, and the cellular device does not advertise its
+availability on the Wi-Fi network."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.util.validate import check_fraction, check_positive
+
+#: "cached for a certain duration (few minutes)"
+DEFAULT_PERMIT_TTL = 300.0
+#: Cells above this utilisation do not accept onloading.
+DEFAULT_ACCEPTANCE_THRESHOLD = 0.70
+
+
+@dataclass
+class Permit:
+    """An authorization for one device to onload, valid until ``expires_at``."""
+
+    device_name: str
+    granted_at: float
+    expires_at: float
+    revoked: bool = False
+
+    def is_valid(self, now: float) -> bool:
+        """True while unexpired and not revoked."""
+        return not self.revoked and now < self.expires_at
+
+
+class PermitServer:
+    """The 3GOL backend of the network-integrated architecture.
+
+    ``utilization_fn(cell_name, now) -> fraction`` is the interface to the
+    operator's network monitoring system; experiments plug in a diurnal
+    profile or a live measurement from the simulator.
+    """
+
+    def __init__(
+        self,
+        utilization_fn: Callable[[str, float], float],
+        acceptance_threshold: float = DEFAULT_ACCEPTANCE_THRESHOLD,
+        permit_ttl: float = DEFAULT_PERMIT_TTL,
+    ) -> None:
+        self.utilization_fn = utilization_fn
+        self.acceptance_threshold = check_fraction(
+            "acceptance_threshold", acceptance_threshold
+        )
+        self.permit_ttl = check_positive("permit_ttl", permit_ttl)
+        self._permits: Dict[str, Permit] = {}
+        #: Grant/deny counters for observability.
+        self.granted_count = 0
+        self.denied_count = 0
+        self.revoked_count = 0
+
+    def request_permit(
+        self, device_name: str, cell_name: str, now: float
+    ) -> Optional[Permit]:
+        """Ask for (or refresh) permission for ``device_name`` to onload.
+
+        Returns a valid permit when the device already holds one or the
+        cell's utilisation is under the acceptance threshold; ``None`` on
+        denial.
+        """
+        existing = self._permits.get(device_name)
+        if existing is not None and existing.is_valid(now):
+            return existing
+        utilization = check_fraction(
+            "utilization", self.utilization_fn(cell_name, now)
+        )
+        if utilization >= self.acceptance_threshold:
+            self.denied_count += 1
+            return None
+        permit = Permit(
+            device_name=device_name,
+            granted_at=now,
+            expires_at=now + self.permit_ttl,
+        )
+        self._permits[device_name] = permit
+        self.granted_count += 1
+        return permit
+
+    def has_valid_permit(self, device_name: str, now: float) -> bool:
+        """True when the device may currently onload."""
+        permit = self._permits.get(device_name)
+        return permit is not None and permit.is_valid(now)
+
+    def revoke(self, device_name: str) -> bool:
+        """Congestion detected: pull the device's permit.
+
+        Returns ``True`` if an active permit was revoked.
+        """
+        permit = self._permits.get(device_name)
+        if permit is None or permit.revoked:
+            return False
+        permit.revoked = True
+        self.revoked_count += 1
+        return True
+
+    def revoke_cell(self, device_names) -> int:
+        """Revoke every listed device (a whole congested cell); returns count."""
+        return sum(1 for name in device_names if self.revoke(name))

@@ -1,0 +1,115 @@
+"""Playout-phase modelling.
+
+§4.1.1 leaves covering the playout phase as future work ("We could modify
+the scheduler to cover also the playout phase"); this module provides the
+pieces that extension needs: given the per-segment completion times a
+scheduler produced, :class:`PlayoutSimulator` replays the player's clock
+and reports the user-visible quality metrics — startup delay, number of
+rebuffering stalls and total stall time.
+
+Player model: playout starts once the pre-buffer is full; segment ``i``
+must be fully present when the playhead reaches its start; otherwise the
+player stalls until the segment arrives (a rebuffering event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.web.hls import HlsPlaylist
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One rebuffering pause."""
+
+    segment_index: int
+    started_at: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class PlayoutReport:
+    """What the viewer experienced."""
+
+    startup_delay: float
+    stalls: Tuple[StallEvent, ...]
+    playout_end: float
+
+    @property
+    def stall_count(self) -> int:
+        """Number of rebuffering events."""
+        return len(self.stalls)
+
+    @property
+    def total_stall_time(self) -> float:
+        """Seconds spent rebuffering after playout started."""
+        return sum(stall.duration for stall in self.stalls)
+
+    @property
+    def smooth(self) -> bool:
+        """True when the video played without a single stall."""
+        return not self.stalls
+
+
+class PlayoutSimulator:
+    """Replays the player clock over segment completion times."""
+
+    def __init__(
+        self, playlist: HlsPlaylist, prebuffer_fraction: float = 0.2
+    ) -> None:
+        if not 0.0 < prebuffer_fraction <= 1.0:
+            raise ValueError(
+                f"prebuffer_fraction must be in (0, 1], got {prebuffer_fraction}"
+            )
+        self.playlist = playlist
+        self.prebuffer_fraction = prebuffer_fraction
+
+    def replay(self, completion_times: Dict[str, float]) -> PlayoutReport:
+        """Compute the playout experience.
+
+        ``completion_times`` maps segment URI to the (absolute) time its
+        download finished; times are relative to whatever epoch the caller
+        used — the report is in the same units.
+        """
+        segments = self.playlist.segments
+        missing = [s.uri for s in segments if s.uri not in completion_times]
+        if missing:
+            raise KeyError(f"no completion time for segments {missing[:3]}")
+        prebuffer = self.playlist.segments_for_prebuffer(
+            self.prebuffer_fraction
+        )
+        startup = max(completion_times[s.uri] for s in prebuffer)
+        playhead = startup
+        stalls: List[StallEvent] = []
+        for segment in segments:
+            ready_at = completion_times[segment.uri]
+            if ready_at > playhead:
+                stalls.append(
+                    StallEvent(
+                        segment_index=segment.index,
+                        started_at=playhead,
+                        duration=ready_at - playhead,
+                    )
+                )
+                playhead = ready_at
+            playhead += segment.duration_s
+        return PlayoutReport(
+            startup_delay=startup,
+            stalls=tuple(stalls),
+            playout_end=playhead,
+        )
+
+
+def completion_times_from_result(result, epoch: float = None) -> Dict[str, float]:
+    """Extract segment completion times from a TransactionResult.
+
+    Times are re-based to the transaction start (or ``epoch``) so the
+    playout report reads as "seconds after the user pressed play".
+    """
+    base = result.started_at if epoch is None else epoch
+    return {
+        label: record.completed_at - base
+        for label, record in result.records.items()
+    }

@@ -1,0 +1,112 @@
+"""Scheduler interfaces.
+
+A :class:`SchedulingPolicy` decides *which item a path transfers next*;
+the :class:`~repro.core.scheduler.runner.TransactionRunner` owns the
+mechanics (flows, aborts, accounting). The split keeps each policy a small,
+independently testable object and mirrors the paper's framing, where the
+three compared schedulers differ only in their assignment rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.items import TransferItem
+from repro.netsim.path import NetworkPath
+
+
+@dataclass
+class PathWorker:
+    """Runner-side view of one path: identity plus live status.
+
+    Policies may read (never write) these fields when deciding; the runner
+    keeps them current.
+    """
+
+    index: int
+    path: NetworkPath
+    #: Item currently being transferred on this path, if any.
+    current_item: Optional[TransferItem] = None
+    #: Remaining bytes of the current transfer (runner-updated snapshot).
+    remaining_bytes: float = 0.0
+    #: Whether this path has issued at least one transfer (connection reuse).
+    used_before: bool = False
+    #: Bytes fully delivered over this path within the transaction.
+    completed_bytes: float = 0.0
+    #: Set when the path failed mid-transaction (phone left the Wi-Fi,
+    #: radio lost): the runner stops dispatching to it.
+    disabled: bool = False
+
+    @property
+    def is_idle(self) -> bool:
+        """True when the path has no transfer in flight."""
+        return self.current_item is None
+
+
+@dataclass(frozen=True)
+class WorkAssignment:
+    """A policy decision: transfer ``item`` next on the asking path.
+
+    ``duplicate`` marks endgame re-transfers of an item already in flight
+    elsewhere (the greedy scheduler's mechanism); the runner aborts the
+    losing copies when the first one completes.
+    """
+
+    item: TransferItem
+    duplicate: bool = False
+
+
+class SchedulingPolicy:
+    """Decides the next item for an idle path.
+
+    Lifecycle: the runner calls :meth:`initialize` once with the workers
+    and the transaction's items (in order), then :meth:`next_item`
+    whenever a path goes idle, and :meth:`on_item_complete` /
+    :meth:`on_item_aborted` as transfers finish. A policy instance is
+    single-use: it belongs to one transaction run.
+    """
+
+    #: Paper abbreviation, set by subclasses (GRD / RR / MIN).
+    name: str = "?"
+
+    def initialize(
+        self, workers: Sequence[PathWorker], items: Sequence[TransferItem]
+    ) -> None:
+        """Receive the paths and the ordered item list before the run."""
+        raise NotImplementedError
+
+    def next_item(
+        self, worker: PathWorker, now: float
+    ) -> Optional[WorkAssignment]:
+        """Pick the next item for ``worker`` (``None``: stay idle)."""
+        raise NotImplementedError
+
+    def on_item_complete(
+        self,
+        worker: PathWorker,
+        item: TransferItem,
+        duration: float,
+        now: float,
+    ) -> None:
+        """An item copy finished on ``worker`` after ``duration`` seconds."""
+
+    def on_item_aborted(
+        self, worker: PathWorker, item: TransferItem, now: float
+    ) -> None:
+        """A duplicate copy on ``worker`` was aborted (item done elsewhere)."""
+
+    def on_item_failed(
+        self, worker: PathWorker, item: TransferItem, now: float
+    ) -> None:
+        """``worker``'s path died with ``item`` in flight.
+
+        The policy must make the item schedulable again (unless another
+        copy is still in flight elsewhere — the runner calls this hook
+        regardless, so idempotent re-queueing is the policy's job).
+        The default raises: a policy that cannot recover must say so
+        rather than silently lose items.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot recover from a path failure"
+        )

@@ -1,0 +1,143 @@
+"""Deadline-aware scheduler (DLN) — the paper's future-work extension.
+
+§4.1.1: "We could modify the scheduler to cover also the playout phase,
+but given the wide amount of proposals in this area, we leave this
+extension as future work." This policy is that extension, kept in the
+spirit of the greedy scheduler:
+
+* items carry playout deadlines (``metadata['deadline_s']``, seconds of
+  playout time from the start — the proxy sets them from the segment
+  durations);
+* like GRD, unscheduled items go in order to the first idle path (order
+  equals deadline order for HLS);
+* unlike GRD, the endgame duplicates the in-flight item with the
+  *earliest deadline* — the one about to stall the player — rather than
+  the oldest-scheduled one, and duplication may start *before* all items
+  are scheduled when an in-flight item's deadline is at risk (urgency
+  pre-emption).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.core.items import TransferItem
+from repro.core.scheduler.base import (
+    PathWorker,
+    SchedulingPolicy,
+    WorkAssignment,
+)
+
+#: Metadata key carrying the playout deadline (seconds from playout start).
+DEADLINE_KEY = "deadline_s"
+
+
+def item_deadline(item: TransferItem) -> float:
+    """Deadline of an item (+inf when it has none)."""
+    value = item.metadata.get(DEADLINE_KEY)
+    return float(value) if value is not None else math.inf
+
+
+def attach_deadlines(items: Sequence[TransferItem]) -> List[TransferItem]:
+    """Derive deadlines from HLS segment metadata, in place of the proxy.
+
+    Segment ``i``'s deadline is the playout time at which it is needed:
+    the sum of the durations of the segments before it.
+    """
+    clock = 0.0
+    out = []
+    for item in items:
+        item.metadata[DEADLINE_KEY] = clock
+        clock += float(item.metadata.get("duration_s", 0.0))
+        out.append(item)
+    return out
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Greedy scheduling with earliest-deadline-first duplication.
+
+    ``urgency_margin`` (seconds) controls pre-emptive duplication: when an
+    in-flight item's deadline is within the margin of the current playout
+    clock estimate, an idle path duplicates it even though unscheduled
+    items remain. The playout clock is approximated as ``now`` minus the
+    transaction start minus ``startup_grace`` (the player's own startup
+    delay: before playout begins nothing is truly urgent, so the grace
+    keeps the policy from duplicating segment 0 the instant the
+    transaction starts).
+    """
+
+    name = "DLN"
+
+    def __init__(
+        self, urgency_margin: float = 4.0, startup_grace: float = 10.0
+    ) -> None:
+        if urgency_margin < 0.0:
+            raise ValueError(
+                f"urgency_margin must be >= 0, got {urgency_margin}"
+            )
+        if startup_grace < 0.0:
+            raise ValueError(
+                f"startup_grace must be >= 0, got {startup_grace}"
+            )
+        self.urgency_margin = urgency_margin
+        self.startup_grace = startup_grace
+        self._workers: Sequence[PathWorker] = ()
+        self._pending: List[TransferItem] = []
+        self._started_at: Optional[float] = None
+
+    def initialize(
+        self, workers: Sequence[PathWorker], items: Sequence[TransferItem]
+    ) -> None:
+        self._workers = tuple(workers)
+        # Keep deadline order even if the caller shuffled the items.
+        self._pending = sorted(items, key=item_deadline)
+        self._started_at = None
+
+    def _inflight_candidates(self, worker: PathWorker) -> List[TransferItem]:
+        candidates = []
+        for other in self._workers:
+            if other is worker:
+                continue
+            item = other.current_item
+            if item is None or item is worker.current_item:
+                continue
+            candidates.append(item)
+        return candidates
+
+    def _most_urgent(self, worker: PathWorker) -> Optional[TransferItem]:
+        candidates = self._inflight_candidates(worker)
+        if not candidates:
+            return None
+        return min(candidates, key=item_deadline)
+
+    def next_item(
+        self, worker: PathWorker, now: float
+    ) -> Optional[WorkAssignment]:
+        if self._started_at is None:
+            self._started_at = now
+        elapsed = now - self._started_at - self.startup_grace
+        # Urgency pre-emption: rescue an item that is about to miss its
+        # deadline even though unscheduled items remain.
+        urgent = self._most_urgent(worker)
+        if (
+            urgent is not None
+            and item_deadline(urgent) <= elapsed + self.urgency_margin
+        ):
+            return WorkAssignment(item=urgent, duplicate=True)
+        if self._pending:
+            return WorkAssignment(item=self._pending.pop(0), duplicate=False)
+        if urgent is not None:
+            return WorkAssignment(item=urgent, duplicate=True)
+        return None
+
+    def on_item_failed(self, worker, item, now: float) -> None:
+        """Re-queue the failed item in deadline order."""
+        if item not in self._pending:
+            self._pending.append(item)
+            self._pending.sort(key=item_deadline)
+
+    @property
+    def pending_count(self) -> int:
+        """Items not yet handed to any path."""
+        return len(self._pending)

@@ -1,0 +1,70 @@
+"""Round-robin scheduler (RR), the first baseline of §5.1.
+
+"The round robin scheduler cyclically assigns one item to each path": item
+``i`` goes to path ``i mod N`` at transaction start, and each path works
+through its own queue sequentially. There is no work stealing and no
+duplication, so the transaction ends when the *slowest* queue drains —
+"the peak capacity of the ADSL link is generally very different from the
+peak capacity of HSPA and hence round-robin cannot be expected to maximize
+gains" (§4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.items import TransferItem
+from repro.core.scheduler.base import (
+    PathWorker,
+    SchedulingPolicy,
+    WorkAssignment,
+)
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Static cyclic assignment, one private queue per path."""
+
+    name = "RR"
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, List[TransferItem]] = {}
+
+    def initialize(
+        self, workers: Sequence[PathWorker], items: Sequence[TransferItem]
+    ) -> None:
+        self._workers = tuple(workers)
+        self._queues = {worker.index: [] for worker in workers}
+        n = len(workers)
+        for i, item in enumerate(items):
+            self._queues[workers[i % n].index].append(item)
+
+    def next_item(
+        self, worker: PathWorker, now: float
+    ) -> Optional[WorkAssignment]:
+        queue = self._queues.get(worker.index)
+        if queue:
+            return WorkAssignment(item=queue.pop(0), duplicate=False)
+        return None
+
+    def on_item_failed(self, worker: PathWorker, item, now: float) -> None:
+        """Move the failed item (and the dead path's queue) elsewhere.
+
+        RR has no work stealing, so recovery must migrate the whole
+        queue: the failed item and everything still waiting behind the
+        dead path go, round-robin, to the surviving paths.
+        """
+        self._workers = getattr(self, "_workers", ())
+        alive = [w for w in self._workers if not w.disabled]
+        if not alive:
+            raise RuntimeError("all paths failed; cannot recover")
+        stranded = [item] + self._queues.get(worker.index, [])
+        self._queues[worker.index] = []
+        for i, moved in enumerate(stranded):
+            target = alive[i % len(alive)]
+            queue = self._queues[target.index]
+            if moved not in queue:
+                queue.append(moved)
+
+    def queue_depth(self, worker_index: int) -> int:
+        """Items still queued for one path (for tests and introspection)."""
+        return len(self._queues.get(worker_index, ()))

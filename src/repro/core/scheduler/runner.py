@@ -1,0 +1,387 @@
+"""Transaction execution on the fluid simulator.
+
+:class:`TransactionRunner` is the machinery shared by all three scheduling
+policies: it keeps one transfer in flight per path (HTTP, no pipelining),
+asks the policy for work whenever a path goes idle, executes transfers as
+fluid flows, aborts losing duplicate copies when an item completes, and
+accounts bytes per path — including the duplication *waste* whose bound
+(N−1)·S_max the paper derives for the greedy scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.items import Transaction, TransferItem
+from repro.core.scheduler.base import PathWorker, SchedulingPolicy
+from repro.netsim.fluid import Flow, FluidNetwork
+from repro.netsim.path import NetworkPath
+
+
+@dataclass
+class ItemRecord:
+    """Timing record for one item of a completed transaction."""
+
+    label: str
+    size_bytes: float
+    #: Path that delivered the winning copy.
+    path_name: str
+    #: Time the item was first handed to a path.
+    scheduled_at: float
+    #: Time the first copy completed.
+    completed_at: float
+    #: Number of copies ever started (1 = never duplicated).
+    copies: int = 1
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds from first scheduling to completion."""
+        return self.completed_at - self.scheduled_at
+
+
+@dataclass
+class TransactionResult:
+    """Outcome of one transaction run."""
+
+    transaction_name: str
+    policy_name: str
+    started_at: float
+    finished_at: float
+    records: Dict[str, ItemRecord]
+    #: Bytes moved per path name (completed + partial duplicate progress).
+    path_bytes: Dict[str, float]
+    #: Bytes transferred by copies that did not win (duplication overhead).
+    wasted_bytes: float
+    #: Total payload bytes of the transaction.
+    payload_bytes: float
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock time of the whole transaction."""
+        return self.finished_at - self.started_at
+
+    @property
+    def goodput_bps(self) -> float:
+        """Payload bits delivered per second of transaction time."""
+        if self.total_time <= 0.0:
+            return math.inf
+        return self.payload_bytes * 8.0 / self.total_time
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Wasted bytes as a fraction of payload bytes."""
+        if self.payload_bytes <= 0.0:
+            return 0.0
+        return self.wasted_bytes / self.payload_bytes
+
+    def time_to_complete(self, labels: Sequence[str]) -> float:
+        """Seconds from transaction start until all ``labels`` completed.
+
+        This is how pre-buffering time is measured: the player can start
+        playout once the first k segments are all present (§5.2).
+        """
+        if not labels:
+            raise ValueError("need at least one label")
+        try:
+            latest = max(self.records[label].completed_at for label in labels)
+        except KeyError as exc:
+            raise KeyError(f"no record for item {exc.args[0]!r}") from None
+        return latest - self.started_at
+
+    def cellular_bytes(self, paths: Sequence[NetworkPath]) -> float:
+        """Bytes this transaction moved over the given paths' 3G devices."""
+        return sum(
+            self.path_bytes.get(path.name, 0.0)
+            for path in paths
+            if path.is_cellular
+        )
+
+
+class _CopyState:
+    """Runner-internal: one in-flight copy of an item."""
+
+    __slots__ = ("worker", "flow", "issued_at")
+
+    def __init__(self, worker: PathWorker, flow: Flow, issued_at: float) -> None:
+        self.worker = worker
+        self.flow = flow
+        self.issued_at = issued_at
+
+
+class TransactionRunner:
+    """Executes one transaction under one policy."""
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        paths: Sequence[NetworkPath],
+        policy: SchedulingPolicy,
+        on_item_complete: Optional[Callable[[ItemRecord], None]] = None,
+    ) -> None:
+        if not paths:
+            raise ValueError("need at least one path")
+        names = [path.name for path in paths]
+        if len(set(names)) != len(names):
+            raise ValueError("path names must be unique")
+        self.network = network
+        self.paths = list(paths)
+        self.policy = policy
+        self.on_item_complete = on_item_complete
+
+        self._workers = [
+            PathWorker(index=i, path=path) for i, path in enumerate(self.paths)
+        ]
+        self._copies: Dict[str, List[_CopyState]] = {}
+        self._worker_flow: Dict[int, Flow] = {}
+        self._scheduled_at: Dict[str, float] = {}
+        self._completed: Dict[str, ItemRecord] = {}
+        self._wasted = 0.0
+        self._items_total = 0
+        self._finished_at: Optional[float] = None
+        self._transaction: Optional[Transaction] = None
+        self._started_at = 0.0
+        self._baseline_path_bytes: Dict[str, float] = {}
+        #: Set while fail_path aborts a flow, so the abort handler knows
+        #: not to treat it as a routine duplicate-loss.
+        self._failing = None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _refresh_worker_snapshots(self) -> None:
+        for worker in self._workers:
+            flow = self._worker_flow.get(worker.index)
+            worker.remaining_bytes = flow.remaining_bytes if flow else 0.0
+
+    def _dispatch(self, worker: PathWorker) -> None:
+        if (
+            self._finished_at is not None
+            or worker.current_item is not None
+            or worker.disabled
+        ):
+            return
+        self._refresh_worker_snapshots()
+        assignment = self.policy.next_item(worker, self.network.time)
+        if assignment is None:
+            return
+        item = assignment.item
+        if item.label in self._completed:
+            # Defensive: a policy must never hand out a completed item
+            # (the runner clears worker state before re-dispatching), so
+            # treat it as a policy bug rather than looping.
+            raise RuntimeError(
+                f"policy {self.policy.name} assigned completed item "
+                f"{item.label!r}"
+            )
+        now = self.network.time
+        if item.label not in self._scheduled_at:
+            self._scheduled_at[item.label] = now
+        delay = worker.path.start_delay(
+            now, fresh_connection=not worker.used_before
+        )
+        worker.used_before = True
+        worker.current_item = item
+
+        def complete(flow: Flow, when: float) -> None:
+            self._on_copy_complete(worker, item, flow, when)
+
+        def aborted(flow: Flow, when: float) -> None:
+            self._on_copy_aborted(worker, item, flow, when)
+
+        flow = Flow(
+            item.size_bytes,
+            worker.path.links,
+            rate_cap_bps=worker.path.flow_rate_cap_bps,
+            on_complete=complete,
+            on_abort=aborted,
+            label=f"{worker.path.name}:{item.label}",
+        )
+        self._worker_flow[worker.index] = flow
+        self._copies.setdefault(item.label, []).append(
+            _CopyState(worker=worker, flow=flow, issued_at=now)
+        )
+        self.network.add_flow(flow, delay=delay)
+
+    def _release_worker(self, worker: PathWorker, flow: Flow) -> None:
+        worker.current_item = None
+        worker.remaining_bytes = 0.0
+        if self._worker_flow.get(worker.index) is flow:
+            del self._worker_flow[worker.index]
+
+    def _on_copy_complete(
+        self, worker: PathWorker, item: TransferItem, flow: Flow, now: float
+    ) -> None:
+        worker.path.record_usage(flow.transferred_bytes)
+        worker.path.notify_activity(now)
+        copies = self._copies.get(item.label, [])
+        self._release_worker(worker, flow)
+        duration = now - next(
+            c.issued_at for c in copies if c.flow is flow
+        )
+        if item.label in self._completed:
+            # A sibling copy won in this same simulation step; everything
+            # this copy moved is overhead.
+            self._wasted += flow.transferred_bytes
+            self.policy.on_item_complete(worker, item, duration, now)
+            self._dispatch(worker)
+            return
+        record = ItemRecord(
+            label=item.label,
+            size_bytes=item.size_bytes,
+            path_name=worker.path.name,
+            scheduled_at=self._scheduled_at[item.label],
+            completed_at=now,
+            copies=len(copies),
+        )
+        self._completed[item.label] = record
+        worker.completed_bytes += flow.transferred_bytes
+        self.policy.on_item_complete(worker, item, duration, now)
+        if self.on_item_complete is not None:
+            self.on_item_complete(record)
+        # Abort ALL losing copies first — their workers must be fully
+        # released before anyone re-dispatches, or a policy could see (and
+        # try to duplicate) a stale in-flight copy of the finished item.
+        for copy in list(copies):
+            if copy.flow is not flow and not copy.flow.is_done:
+                self.network.abort_flow(copy.flow)
+        if len(self._completed) == self._items_total:
+            self._finished_at = now
+            return
+        for idle in self._workers:
+            if idle.current_item is None:
+                self._dispatch(idle)
+                if self._finished_at is not None:
+                    return
+
+    def _on_copy_aborted(
+        self, worker: PathWorker, item: TransferItem, flow: Flow, now: float
+    ) -> None:
+        # Dispatching happens in _on_copy_complete once every losing copy
+        # is settled; here we only account and release.
+        worker.path.record_usage(flow.transferred_bytes)
+        worker.path.notify_activity(now)
+        self._wasted += flow.transferred_bytes
+        self._release_worker(worker, flow)
+        if self._failing == (worker.index, flow):
+            # fail_path drives recovery itself (on_item_failed + redispatch).
+            return
+        self.policy.on_item_aborted(worker, item, now)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def start(self, transaction: Transaction) -> None:
+        """Begin executing ``transaction`` without driving the network.
+
+        Use this to run several transactions concurrently on one shared
+        :class:`~repro.netsim.fluid.FluidNetwork` (e.g. a neighbourhood of
+        households): start each runner, then step the network until every
+        runner's :attr:`finished` is true, then :meth:`collect_result`.
+        """
+        if self._items_total:
+            raise RuntimeError("TransactionRunner instances are single-use")
+        self._items_total = len(transaction)
+        self._transaction = transaction
+        self._started_at = self.network.time
+        self._baseline_path_bytes = {
+            path.name: path.bytes_used for path in self.paths
+        }
+        self.policy.initialize(self._workers, transaction.items)
+        for worker in self._workers:
+            self._dispatch(worker)
+            if self._finished_at is not None:
+                break
+
+    def fail_path(self, path_name: str) -> None:
+        """A path died mid-transaction (phone left the LAN, radio lost).
+
+        The worker is disabled, its in-flight copy aborted, and the
+        policy's :meth:`~repro.core.scheduler.base.SchedulingPolicy.\
+on_item_failed` hook re-queues the stranded item; every idle surviving
+        worker is then re-dispatched so recovery starts immediately.
+        """
+        worker = next(
+            (w for w in self._workers if w.path.name == path_name), None
+        )
+        if worker is None:
+            raise KeyError(f"no path named {path_name!r}")
+        if worker.disabled:
+            return
+        worker.disabled = True
+        flow = self._worker_flow.get(worker.index)
+        item = worker.current_item
+        if flow is not None and not flow.is_done:
+            self._failing = (worker.index, flow)
+            try:
+                self.network.abort_flow(flow)
+            finally:
+                self._failing = None
+        if item is not None and item.label not in self._completed:
+            # Only re-offer when no sibling copy is still in flight —
+            # otherwise the endgame machinery already covers the item.
+            live_copies = [
+                c
+                for c in self._copies.get(item.label, [])
+                if not c.flow.is_done
+            ]
+            if not live_copies:
+                self.policy.on_item_failed(worker, item, self.network.time)
+        worker.current_item = None
+        for idle in self._workers:
+            if idle.current_item is None and not idle.disabled:
+                self._dispatch(idle)
+                if self._finished_at is not None:
+                    return
+
+    @property
+    def finished(self) -> bool:
+        """True once every item of the started transaction completed."""
+        return self._finished_at is not None
+
+    def collect_result(self) -> TransactionResult:
+        """Build the result of a finished transaction."""
+        if not self._items_total:
+            raise RuntimeError("no transaction was started")
+        if self._finished_at is None:
+            missing = sorted(
+                item.label
+                for item in self._transaction.items
+                if item.label not in self._completed
+            )
+            raise RuntimeError(
+                f"transaction {self._transaction.name!r} incomplete at "
+                f"t={self.network.time:.1f}s under {self.policy.name}: "
+                f"{len(missing)} items missing ({missing[:5]}...)"
+            )
+        path_bytes = {
+            path.name: path.bytes_used - self._baseline_path_bytes[path.name]
+            for path in self.paths
+        }
+        return TransactionResult(
+            transaction_name=self._transaction.name,
+            policy_name=self.policy.name,
+            started_at=self._started_at,
+            finished_at=self._finished_at,
+            records=dict(self._completed),
+            path_bytes=path_bytes,
+            wasted_bytes=self._wasted,
+            payload_bytes=self._transaction.total_bytes,
+        )
+
+    def run(
+        self, transaction: Transaction, until: float = math.inf
+    ) -> TransactionResult:
+        """Execute ``transaction``; returns its result.
+
+        Raises :class:`RuntimeError` if the transaction cannot finish by
+        ``until`` (e.g. a static policy committed items to a dead path).
+        """
+        self.start(transaction)
+        while self._finished_at is None:
+            if not self.network.step(max_time=until):
+                break
+            if self.network.time >= until:
+                break
+        return self.collect_result()

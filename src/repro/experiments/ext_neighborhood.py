@@ -1,0 +1,149 @@
+"""Extension: 3GOL households competing for the same cell.
+
+Fig. 11c models adoption load analytically; this experiment makes it
+concrete at flow level: K households in one neighbourhood all run 3GOL
+*simultaneously* (the evening video rush), sharing both the DSLAM
+backhaul and the cellular deployment. As more homes boost at once, the
+shared HSDPA channels split further and the per-home benefit erodes —
+the congestion argument behind the paper's permit backend (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.items import Transaction, TransferItem
+from repro.core.scheduler import TransactionRunner, make_policy
+from repro.experiments.formatting import fmt, render_table
+from repro.netsim.neighborhood import Neighborhood
+from repro.netsim.topology import LocationProfile
+from repro.util.stats import RunningStats
+from repro.util.units import mbps
+from repro.web.hls import make_bipbop_video
+
+LOCATION = LocationProfile(
+    name="nbh",
+    description="Neighbourhood contention testbed",
+    adsl_down_bps=mbps(3.0),
+    adsl_up_bps=mbps(0.4),
+    signal_dbm=-85.0,
+    n_stations=2,
+    peak_utilization=0.45,
+    measurement_hour=21.0,
+)
+
+DEFAULT_ACTIVE_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """Mean per-home download time with K homes boosting at once."""
+
+    active_homes: int
+    mean_time_s: float
+    baseline_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Per-home speedup over the unassisted baseline."""
+        return self.baseline_time_s / self.mean_time_s
+
+
+@dataclass(frozen=True)
+class NeighborhoodResult:
+    """Speedup vs concurrent-adopter count."""
+
+    points: Tuple[ContentionPoint, ...]
+
+    def speedup_erodes(self) -> bool:
+        """More simultaneous adopters -> smaller per-home benefit."""
+        speedups = [p.speedup for p in self.points]
+        return speedups[-1] < speedups[0]
+
+    def still_beneficial_at_max(self) -> bool:
+        """Even the crowded cell leaves everyone better off."""
+        return self.points[-1].speedup > 1.0
+
+    def render(self) -> str:
+        """One row per adopter count."""
+        rows = [
+            (
+                p.active_homes,
+                fmt(p.baseline_time_s, 1),
+                fmt(p.mean_time_s, 1),
+                f"x{p.speedup:.2f}",
+            )
+            for p in self.points
+        ]
+        return render_table(
+            ["boosting homes", "ADSL alone (s)", "3GOL (s)", "speedup"],
+            rows,
+            title=(
+                "Extension — simultaneous 3GOL adopters sharing one cell "
+                "(Q4 video, 2 phones/home)"
+            ),
+        )
+
+
+def _run_round(
+    active_homes: int, use_3gol: bool, seed: int
+) -> List[float]:
+    """All active homes download the Q4 video at once; per-home times."""
+    video = make_bipbop_video()
+    playlist = video.playlist("Q4")
+    neighborhood = Neighborhood(
+        LOCATION,
+        n_homes=active_homes,
+        phones_per_home=2,
+        dslam_backhaul_bps=mbps(60.0),
+        seed=seed,
+    )
+    results: Dict[str, List[float]] = {}
+    runners = []
+    for home in neighborhood.homes:
+        items = [
+            TransferItem(
+                f"{home.home_id}:{s.uri}", s.size_bytes, {"index": s.index}
+            )
+            for s in playlist.segments
+        ]
+        runner = TransactionRunner(
+            neighborhood.network,
+            neighborhood.download_paths(home, use_3gol=use_3gol),
+            make_policy("GRD"),
+        )
+        runner.start(Transaction(items, name=f"{home.home_id}-dl"))
+        runners.append((home.home_id, runner))
+    network = neighborhood.network
+    deadline = network.time + 3600.0
+    while not all(runner.finished for _, runner in runners):
+        if not network.step(max_time=deadline):
+            break
+    times = []
+    for home_id, runner in runners:
+        result = runner.collect_result()
+        times.append(result.total_time)
+    return times
+
+
+def run(
+    active_counts: Sequence[int] = DEFAULT_ACTIVE_COUNTS,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> NeighborhoodResult:
+    """Sweep the number of simultaneously-boosting homes."""
+    points = []
+    for count in active_counts:
+        boosted = RunningStats()
+        baseline = RunningStats()
+        for seed in seeds:
+            boosted.extend(_run_round(count, use_3gol=True, seed=seed))
+            baseline.extend(_run_round(count, use_3gol=False, seed=seed))
+        points.append(
+            ContentionPoint(
+                active_homes=count,
+                mean_time_s=boosted.mean,
+                baseline_time_s=baseline.mean,
+            )
+        )
+    return NeighborhoodResult(points=tuple(points))

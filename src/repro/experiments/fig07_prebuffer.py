@@ -1,0 +1,173 @@
+"""Fig. 7 — pre-buffering gain vs pre-buffer amount (§5.2).
+
+For the locations with the fastest (loc2) and slowest (loc4) ADSL, the
+paper sweeps the player's pre-buffer from 20% to 100% of the video length
+across all four qualities, with one and two phones, starting the radios
+from idle ("3G") and from a connected state ("H"). 3GOL gain is the
+reduction in seconds of the time to fill the pre-buffer, relative to ADSL
+alone. Expected shapes: the gain grows with both video quality and
+pre-buffer amount; a second phone adds up to ~+26-35% on the best gain;
+connected-mode starts bring only marginal, shrinking benefits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.proxy import VideoDownloadReport
+from repro.experiments import wild
+from repro.experiments.formatting import fmt, render_table
+from repro.netsim.topology import EVALUATION_LOCATIONS, LocationProfile
+from repro.util.stats import RunningStats
+from repro.web.hls import HlsPlaylist
+
+QUALITIES: Tuple[str, ...] = ("Q1", "Q2", "Q3", "Q4")
+PREBUFFER_FRACTIONS: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+#: (n_phones, connected_start) configurations, in the paper's order.
+CONFIGS: Tuple[Tuple[int, bool], ...] = (
+    (1, False),  # 3G_1PH
+    (1, True),   # H_1PH
+    (2, False),  # 3G_2PH
+    (2, True),   # H_2PH
+)
+
+
+def config_label(n_phones: int, connected: bool) -> str:
+    """The paper's series label for a configuration."""
+    return f"{'H' if connected else '3G'}_{n_phones}PH"
+
+
+def prebuffer_times(
+    report: VideoDownloadReport,
+    playlist: HlsPlaylist,
+    fractions: Sequence[float],
+) -> List[float]:
+    """Pre-buffer fill times for several fractions from one download."""
+    times = []
+    for fraction in fractions:
+        needed = playlist.segments_for_prebuffer(fraction)
+        times.append(
+            report.playlist_time
+            + report.result.time_to_complete([s.uri for s in needed])
+        )
+    return times
+
+
+@dataclass(frozen=True)
+class PrebufferGainResult:
+    """Mean gains (seconds) per (location, config, quality, fraction)."""
+
+    fractions: Tuple[float, ...]
+    #: gains[(location, config_label, quality)] -> one value per fraction.
+    gains: Dict[Tuple[str, str, str], Tuple[float, ...]]
+
+    def gain(
+        self, location: str, config: str, quality: str, fraction: float
+    ) -> float:
+        """One bar of the figure."""
+        series = self.gains[(location, config, quality)]
+        return series[self.fractions.index(fraction)]
+
+    def best_gain(self, location: str, config: str) -> float:
+        """Largest gain across qualities and fractions for a config."""
+        return max(
+            max(series)
+            for (loc, cfg, _), series in self.gains.items()
+            if loc == location and cfg == config
+        )
+
+    def monotone_in_quality(
+        self, location: str, config: str, fraction: float
+    ) -> bool:
+        """Gain increases from Q1 to Q4 at a fixed pre-buffer amount."""
+        idx = self.fractions.index(fraction)
+        values = [
+            self.gains[(location, config, quality)][idx]
+            for quality in QUALITIES
+        ]
+        return all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def render(self) -> str:
+        """One table block per (location, config)."""
+        blocks = []
+        keys = sorted({(loc, cfg) for (loc, cfg, _) in self.gains})
+        for location, config in keys:
+            rows = []
+            for quality in QUALITIES:
+                series = self.gains[(location, config, quality)]
+                rows.append([quality] + [fmt(v, 1) for v in series])
+            headers = ["quality"] + [
+                f"{int(f * 100)}%" for f in self.fractions
+            ]
+            blocks.append(
+                render_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"Fig. 7 — 3GOL pre-buffer gain (s), {location}, "
+                        f"{config}"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    locations: Sequence[LocationProfile] = (
+        EVALUATION_LOCATIONS[1],  # loc2, fastest ADSL
+        EVALUATION_LOCATIONS[3],  # loc4, slowest ADSL
+    ),
+    fractions: Sequence[float] = PREBUFFER_FRACTIONS,
+    configs: Sequence[Tuple[int, bool]] = CONFIGS,
+    repetitions: int = 5,
+) -> PrebufferGainResult:
+    """Run the sweep. One download per (config, quality, seed) yields the
+    pre-buffer times for *all* fractions at once."""
+    gains: Dict[Tuple[str, str, str], Tuple[float, ...]] = {}
+    for location in locations:
+        for quality in QUALITIES:
+            # ADSL baseline pre-buffer times.
+            base_stats = [RunningStats() for _ in fractions]
+            playlist = None
+            for seed in range(repetitions):
+                session = wild.make_session(location, n_phones=1, seed=seed)
+                video = session.host_bipbop()
+                playlist = video.playlist(quality)
+                report = session.download_video(
+                    "bipbop", quality, use_3gol=False, prebuffer_fraction=None
+                )
+                for stat, value in zip(
+                    base_stats, prebuffer_times(report, playlist, fractions)
+                ):
+                    stat.add(value)
+            for n_phones, connected in configs:
+                stats = [RunningStats() for _ in fractions]
+                for seed in range(repetitions):
+                    session = wild.make_session(
+                        location,
+                        n_phones=n_phones,
+                        seed=seed,
+                        connected_start=connected,
+                    )
+                    video = session.host_bipbop()
+                    playlist = video.playlist(quality)
+                    report = session.download_video(
+                        "bipbop", quality, prebuffer_fraction=None
+                    )
+                    for stat, value in zip(
+                        stats, prebuffer_times(report, playlist, fractions)
+                    ):
+                        stat.add(value)
+                key = (
+                    location.name,
+                    config_label(n_phones, connected),
+                    quality,
+                )
+                gains[key] = tuple(
+                    max(0.0, base.mean - onload.mean)
+                    for base, onload in zip(base_stats, stats)
+                )
+    return PrebufferGainResult(
+        fractions=tuple(fractions), gains=gains
+    )

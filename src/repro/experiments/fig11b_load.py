@@ -1,0 +1,77 @@
+"""Fig. 11 (b) — load 3GOL puts on the cellular network (§6).
+
+Over the DSLAM trace (a population matching two cell towers' coverage,
+§2.1), the onloaded traffic is computed in 5-minute bins for two regimes:
+budgeted (first eligible video per user-day, at most 40 MB) and unbudgeted
+(full cellular share of every video). Paper claims: without caps the 3G
+network "will be guaranteed to be overloaded"; within caps the additional
+load is reasonable (the budgeted curve stays below the 2 × 40 Mbps
+backhaul line); the average budgeted user onloads 29.78 MB/day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.load import OnloadLoadSeries, onloaded_load_series
+from repro.experiments.formatting import fmt, render_table
+from repro.traces.dslam import generate_dslam_trace
+
+
+@dataclass(frozen=True)
+class OnloadLoadResult:
+    """The two load series plus summary claims."""
+
+    series: OnloadLoadSeries
+    mean_onload_mb_per_user: float
+    n_video_users: int
+
+    def render(self) -> str:
+        """Hourly maxima of both regimes against the capacity line."""
+        bins_per_hour = int(3600 / self.series.bin_seconds)
+        rows = []
+        for hour in range(24):
+            lo = hour * bins_per_hour
+            hi = lo + bins_per_hour
+            rows.append(
+                (
+                    hour,
+                    fmt(max(self.series.budgeted_bps[lo:hi]) / 1e6, 1),
+                    fmt(max(self.series.unbudgeted_bps[lo:hi]) / 1e6, 1),
+                )
+            )
+        table = render_table(
+            ["hour", "budgeted peak (Mbps)", "unbudgeted peak (Mbps)"],
+            rows,
+            title=(
+                "Fig. 11b — onloaded cellular load "
+                f"(backhaul capacity {self.series.backhaul_bps / 1e6:.0f} Mbps)"
+            ),
+        )
+        claims = (
+            f"\nbudgeted peak: {self.series.budgeted_peak_bps / 1e6:.1f} Mbps"
+            f" | unbudgeted peak: "
+            f"{self.series.unbudgeted_peak_bps / 1e6:.1f} Mbps"
+            f"\nbudgeted bins over capacity: "
+            f"{self.series.budgeted_overload_fraction():.1%}"
+            f" | unbudgeted bins over capacity: "
+            f"{self.series.unbudgeted_overload_fraction():.1%}"
+            f"\nmean onload per user-day (budgeted): "
+            f"{self.mean_onload_mb_per_user:.1f} MB (paper: 29.78 MB)"
+        )
+        return table + claims
+
+
+def run(n_subscribers: int = 2000, seed: int = 0) -> OnloadLoadResult:
+    """Generate the trace and compute both load series."""
+    trace = generate_dslam_trace(n_subscribers=n_subscribers, seed=seed)
+    series = onloaded_load_series(trace)
+    total_budgeted_bytes = float(
+        (series.budgeted_bps * series.bin_seconds / 8.0).sum()
+    )
+    n_video_users = len(trace.video_users)
+    return OnloadLoadResult(
+        series=series,
+        mean_onload_mb_per_user=total_budgeted_bytes / n_video_users / 1e6,
+        n_video_users=n_video_users,
+    )

@@ -1,0 +1,56 @@
+"""§2.1 — back-of-envelope capacity comparison.
+
+Reproduces the paper's arithmetic: one downtown cell covers 4 375
+subscribers → 875 ADSL connections → 5.863 Gbps aggregate downlink, vs a
+40-50 Mbps cell backhaul: the cellular network is 1-2 orders of magnitude
+smaller; on the uplink (1/10 ADSL asymmetry) the gap is smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.capacity import (
+    CapacityComparison,
+    CellAreaAssumptions,
+    compare_capacity,
+)
+from repro.experiments.formatting import fmt, render_table
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """The comparison under the paper's assumptions."""
+
+    comparison: CapacityComparison
+
+    def render(self) -> str:
+        """The calculation's lines, paper-style."""
+        c = self.comparison
+        rows = [
+            ("subscribers in cell area", fmt(c.subscribers_in_cell, 0)),
+            ("ADSL connections", fmt(c.adsl_connections, 0)),
+            (
+                "ADSL aggregate downlink",
+                f"{c.adsl_aggregate_down_bps / 1e9:.3f} Gbps",
+            ),
+            (
+                "ADSL aggregate uplink",
+                f"{c.adsl_aggregate_up_bps / 1e9:.3f} Gbps",
+            ),
+            ("cell backhaul", f"{c.cell_backhaul_bps / 1e6:.0f} Mbps"),
+            ("down ratio (ADSL/cell)", fmt(c.down_ratio, 1)),
+            ("orders of magnitude", fmt(c.down_orders_of_magnitude, 2)),
+        ]
+        return render_table(
+            ["quantity", "value"],
+            rows,
+            title="§2.1 — back-of-envelope capacity comparison",
+        )
+
+
+def run(
+    assumptions: CellAreaAssumptions = CellAreaAssumptions(),
+) -> CapacityResult:
+    """Evaluate the calculation."""
+    return CapacityResult(comparison=compare_capacity(assumptions))

@@ -1,0 +1,93 @@
+"""Discrete-event primitives.
+
+The fluid simulator (:mod:`repro.netsim.fluid`) interleaves two kinds of
+progress: continuous flow transfer between events, and discrete timer events
+(deferred flow starts, radio promotions, permit expiries). This module
+provides the timer half: a plain binary-heap event queue with stable FIFO
+ordering for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at an absolute simulation time.
+
+    Ordering is by ``(time, sequence)`` so events scheduled earlier run
+    first among equal timestamps; the callback itself never participates in
+    comparisons.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap queue of :class:`ScheduledEvent` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def schedule(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Add ``callback`` to run at absolute ``time``; returns a handle.
+
+        ``time`` must be finite — scheduling "at infinity" is always a bug
+        in the caller (use "never schedule" instead).
+        """
+        if math.isnan(time) or math.isinf(time):
+            raise ValueError(f"event time must be finite, got {time}")
+        event = ScheduledEvent(
+            time=float(time),
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Time of the next live event, or ``inf`` when the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else math.inf
+
+    def pop_due(self, now: float) -> Optional[ScheduledEvent]:
+        """Pop the next live event if its time is <= ``now``; else ``None``."""
+        self._drop_cancelled()
+        if self._heap and self._heap[0].time <= now:
+            return heapq.heappop(self._heap)
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        self._drop_cancelled()
+        return bool(self._heap)
+
+
+def run_callback(event: ScheduledEvent) -> Any:
+    """Run a popped event's callback unless it was cancelled in the meantime."""
+    if not event.cancelled:
+        return event.callback()
+    return None

@@ -1,0 +1,376 @@
+"""Max-min fair fluid flow simulator.
+
+TCP transfers are modelled as *fluid flows*: a flow has a remaining volume
+and crosses a series chain of links; at any instant the set of active flows
+is allocated rates by progressive filling (max-min fairness), which is the
+standard flow-level abstraction of long-lived TCP sharing a bottleneck. The
+simulator advances in variable-size steps bounded by the next of: a flow
+completion, a link capacity change, or a scheduled timer event (deferred
+flow start, radio promotion, …).
+
+This is the substrate every 3GOL experiment runs on: the multipath
+scheduler submits items as flows over paths, reacts to completion callbacks
+and aborts duplicate flows, exactly mirroring the prototype's behaviour at
+the granularity the paper's evaluation reports (seconds).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.netsim.engine import EventQueue, ScheduledEvent, run_callback
+from repro.netsim.link import Link, validate_chain
+from repro.util.validate import check_non_negative
+
+#: Residual volume (bytes) below which a flow counts as complete. The
+#: threshold is relative to the flow size (see :func:`completion_epsilon`)
+#: because the float error left after stepping exactly to a completion
+#: boundary scales with the volume transferred; the absolute floor covers
+#: tiny flows.
+COMPLETION_EPSILON = 1e-3
+_COMPLETION_RELATIVE = 1e-9
+
+
+def completion_epsilon(size_bytes: float) -> float:
+    """Residual volume below which a flow of ``size_bytes`` is complete."""
+    return max(COMPLETION_EPSILON, _COMPLETION_RELATIVE * size_bytes)
+
+#: Relative tolerance when comparing fair shares in the water-filling loop.
+_SHARE_EPSILON = 1e-12
+
+
+class Flow:
+    """A fluid flow: ``size_bytes`` to move across a chain of links.
+
+    ``rate_cap_bps`` optionally caps the flow's own rate regardless of link
+    shares (used for per-device channel category limits).
+    ``on_complete(flow, time)`` fires when the last byte is delivered;
+    ``on_abort(flow, time)`` fires if the flow is cancelled first.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        size_bytes: float,
+        links: Sequence[Link],
+        rate_cap_bps: Optional[float] = None,
+        on_complete: Optional[Callable[["Flow", float], None]] = None,
+        on_abort: Optional[Callable[["Flow", float], None]] = None,
+        label: str = "",
+    ) -> None:
+        self.flow_id = next(Flow._ids)
+        self.size_bytes = check_non_negative("size_bytes", size_bytes)
+        self.links = validate_chain(links)
+        if rate_cap_bps is not None:
+            rate_cap_bps = check_non_negative("rate_cap_bps", rate_cap_bps)
+        self.rate_cap_bps = rate_cap_bps
+        self.on_complete = on_complete
+        self.on_abort = on_abort
+        self.label = label or f"flow-{self.flow_id}"
+
+        self.remaining_bytes = self.size_bytes
+        self.current_rate_bps = 0.0
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.aborted_at: Optional[float] = None
+
+    @property
+    def transferred_bytes(self) -> float:
+        """Bytes delivered so far (counts partial progress of aborts)."""
+        return self.size_bytes - self.remaining_bytes
+
+    @property
+    def is_done(self) -> bool:
+        """True once completed or aborted."""
+        return self.completed_at is not None or self.aborted_at is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"Flow({self.label!r}, size={self.size_bytes:.0f}B, "
+            f"remaining={self.remaining_bytes:.0f}B)"
+        )
+
+
+def max_min_allocation(
+    flows: Sequence[Flow], time: float
+) -> Dict[Flow, float]:
+    """Progressive-filling (water-filling) max-min fair rate allocation.
+
+    Per-flow rate caps are honoured by treating each cap as a virtual
+    single-flow link. Links with zero capacity freeze their flows at rate
+    zero (the flows stay active but make no progress).
+    """
+    rates: Dict[Flow, float] = {}
+    active = [flow for flow in flows]
+    remaining_capacity: Dict[Link, float] = {}
+    link_members: Dict[Link, set] = {}
+    for flow in active:
+        for link in flow.links:
+            if link not in remaining_capacity:
+                remaining_capacity[link] = link.capacity_at(time)
+                link_members[link] = set()
+            link_members[link].add(flow)
+
+    active_set = set(active)
+    while active_set:
+        # Fair share offered by each constraint still in play.
+        bottleneck_share = math.inf
+        for link, members in link_members.items():
+            live = members & active_set
+            if not live:
+                continue
+            share = remaining_capacity[link] / len(live)
+            bottleneck_share = min(bottleneck_share, share)
+        for flow in active_set:
+            if flow.rate_cap_bps is not None:
+                bottleneck_share = min(bottleneck_share, flow.rate_cap_bps)
+        if bottleneck_share is math.inf:
+            # No constraining link at all; should not happen because chains
+            # are non-empty, but guard against an all-frozen corner.
+            for flow in active_set:
+                rates[flow] = 0.0
+            break
+
+        # Freeze every flow pinned at the bottleneck share: flows whose own
+        # cap equals it, plus all flows on saturated links.
+        frozen = set()
+        for flow in active_set:
+            cap = flow.rate_cap_bps
+            if cap is not None and cap <= bottleneck_share * (1 + _SHARE_EPSILON):
+                frozen.add(flow)
+        for link, members in link_members.items():
+            live = members & active_set
+            if not live:
+                continue
+            share = remaining_capacity[link] / len(live)
+            if share <= bottleneck_share * (1 + _SHARE_EPSILON) or (
+                share == 0.0 and bottleneck_share == 0.0
+            ):
+                frozen.update(live)
+        if not frozen:
+            # Numerical corner: freeze everything at the share to guarantee
+            # termination.
+            frozen = set(active_set)
+
+        for flow in frozen:
+            rate = bottleneck_share
+            if flow.rate_cap_bps is not None:
+                rate = min(rate, flow.rate_cap_bps)
+            rates[flow] = max(rate, 0.0)
+            for link in flow.links:
+                remaining_capacity[link] = max(
+                    0.0, remaining_capacity[link] - rates[flow]
+                )
+        active_set -= frozen
+    return rates
+
+
+class FluidNetwork:
+    """The simulation loop: flows, timers, and stepped fluid transfer."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.time = float(start_time)
+        self._flows: List[Flow] = []
+        self._timers = EventQueue()
+        self._rates_dirty = True
+        self._current_rates: Dict[Flow, float] = {}
+        #: Total bytes moved, per link name, for load accounting.
+        self.link_bytes: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Flow and timer management
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> Tuple[Flow, ...]:
+        """Flows currently transferring."""
+        return tuple(self._flows)
+
+    def add_flow(self, flow: Flow, delay: float = 0.0) -> Flow:
+        """Activate ``flow`` now, or after ``delay`` seconds.
+
+        The delay models everything that happens before TCP bytes move:
+        HTTP request RTTs, radio channel acquisition, proxy hops.
+        """
+        delay = check_non_negative("delay", delay)
+        if flow.is_done:
+            raise ValueError(f"cannot add finished flow {flow!r}")
+        if delay > 0.0:
+            self._timers.schedule(
+                self.time + delay,
+                lambda: self._activate(flow),
+                label=f"start:{flow.label}",
+            )
+        else:
+            self._activate(flow)
+        return flow
+
+    def _activate(self, flow: Flow) -> None:
+        if flow.is_done:
+            return  # aborted while waiting to start
+        flow.started_at = self.time
+        if flow.remaining_bytes <= completion_epsilon(flow.size_bytes):
+            # Zero-byte flow: complete instantly, still via the callback
+            # path so schedulers see a uniform event sequence.
+            self._finish(flow)
+            return
+        self._flows.append(flow)
+        self._rates_dirty = True
+
+    def abort_flow(self, flow: Flow) -> None:
+        """Cancel a flow; partial progress is kept in ``transferred_bytes``."""
+        if flow.is_done:
+            return
+        flow.aborted_at = self.time
+        flow.current_rate_bps = 0.0
+        if flow in self._flows:
+            self._flows.remove(flow)
+        self._rates_dirty = True
+        if flow.on_abort is not None:
+            flow.on_abort(flow, self.time)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        delay = check_non_negative("delay", delay)
+        return self._timers.schedule(self.time + delay, callback, label=label)
+
+    def _finish(self, flow: Flow) -> None:
+        if flow.is_done:
+            # A completion callback earlier in the same sweep may have
+            # aborted this flow (losing duplicate); do not also complete it.
+            return
+        flow.remaining_bytes = 0.0
+        flow.completed_at = self.time
+        flow.current_rate_bps = 0.0
+        if flow in self._flows:
+            self._flows.remove(flow)
+        self._rates_dirty = True
+        if flow.on_complete is not None:
+            flow.on_complete(flow, self.time)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def _recompute_rates(self) -> None:
+        self._current_rates = max_min_allocation(self._flows, self.time)
+        for flow, rate in self._current_rates.items():
+            flow.current_rate_bps = rate
+        self._rates_dirty = False
+
+    def _next_boundary(self) -> float:
+        """Earliest of: timer, capacity change, flow completion."""
+        boundary = self._timers.peek_time()
+        seen_links = set()
+        for flow in self._flows:
+            rate = self._current_rates.get(flow, 0.0)
+            if rate > 0.0:
+                eta = self.time + (flow.remaining_bytes * 8.0) / rate
+                boundary = min(boundary, eta)
+            for link in flow.links:
+                if link in seen_links:
+                    continue
+                seen_links.add(link)
+                boundary = min(boundary, link.next_change_after(self.time))
+        return boundary
+
+    def _advance_transfer(self, until: float) -> None:
+        dt = until - self.time
+        if dt < 0.0:
+            raise RuntimeError(
+                f"time went backwards: {self.time} -> {until}"
+            )
+        if dt > 0.0:
+            for flow in list(self._flows):
+                rate = self._current_rates.get(flow, 0.0)
+                moved = min(flow.remaining_bytes, rate * dt / 8.0)
+                flow.remaining_bytes -= moved
+                for link in flow.links:
+                    self.link_bytes[link.name] = (
+                        self.link_bytes.get(link.name, 0.0) + moved
+                    )
+        self.time = until
+
+    def step(self, max_time: float = math.inf) -> bool:
+        """Advance to the next event (bounded by ``max_time``).
+
+        Returns ``True`` if anything can still happen, ``False`` when the
+        simulation has drained (no flows, no timers) or ``max_time`` was
+        reached.
+        """
+        if self._rates_dirty:
+            self._recompute_rates()
+        boundary = min(self._next_boundary(), max_time)
+        if boundary is math.inf:
+            return False
+        self._advance_transfer(boundary)
+
+        # Completions strictly before timers at the same instant: a
+        # scheduler reacting to a completion may cancel a timer.
+        for flow in sorted(
+            (
+                f
+                for f in self._flows
+                if f.remaining_bytes <= completion_epsilon(f.size_bytes)
+            ),
+            key=lambda f: f.flow_id,
+        ):
+            self._finish(flow)
+        while True:
+            event = self._timers.pop_due(self.time)
+            if event is None:
+                break
+            run_callback(event)
+        self._rates_dirty = True
+        return bool(self._flows) or bool(self._timers) or self.time < max_time
+
+    def advance_to(self, target_time: float) -> float:
+        """Advance the clock to ``target_time``, processing whatever occurs.
+
+        Unlike :meth:`run`, this also moves the clock across idle periods
+        (no flows, no timers) — what a day-scale scenario needs between a
+        household's transactions.
+        """
+        if target_time < self.time:
+            raise ValueError(
+                f"cannot advance backwards: {self.time} -> {target_time}"
+            )
+        self.run(until=target_time)
+        if self.time < target_time:
+            self.time = target_time
+        return self.time
+
+    def run(self, until: float = math.inf, max_steps: int = 10_000_000) -> float:
+        """Run until drained or ``until``; returns the final time."""
+        for _ in range(max_steps):
+            if not self._flows and not self._timers:
+                break
+            if self.time >= until:
+                break
+            if self._rates_dirty:
+                self._recompute_rates()
+            boundary = min(self._next_boundary(), until)
+            if boundary is math.inf:
+                break
+            self._advance_transfer(boundary)
+            for flow in sorted(
+                (
+                    f
+                    for f in self._flows
+                    if f.remaining_bytes <= completion_epsilon(f.size_bytes)
+                ),
+                key=lambda f: f.flow_id,
+            ):
+                self._finish(flow)
+            while True:
+                event = self._timers.pop_due(self.time)
+                if event is None:
+                    break
+                run_callback(event)
+            self._rates_dirty = True
+        else:
+            raise RuntimeError("simulation exceeded max_steps; runaway loop?")
+        return self.time

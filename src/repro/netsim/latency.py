@@ -1,0 +1,41 @@
+"""Per-technology round-trip-time models.
+
+The fluid simulator does not model packets, so request/response latency is
+added as a per-transfer start delay: one RTT for the HTTP request (plus one
+for the TCP handshake when a fresh connection is opened, plus the radio
+acquisition delay on 3G paths). Values follow typical measurements from the
+paper's era: a few tens of ms on ADSL, ~60-120 ms on connected HSPA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validate import check_non_negative
+
+
+@dataclass(frozen=True)
+class RttModel:
+    """Round-trip time of a path to the origin server, in seconds."""
+
+    base_rtt: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("base_rtt", self.base_rtt)
+
+    def request_overhead(self, fresh_connection: bool = False) -> float:
+        """Start delay for one HTTP request over this path.
+
+        One RTT for the GET/POST itself; a second RTT when the TCP
+        connection must first be established.
+        """
+        rtts = 2.0 if fresh_connection else 1.0
+        return rtts * self.base_rtt
+
+
+#: Typical ADSL last-mile + ISP RTT to a well-connected server.
+ADSL_RTT = RttModel(base_rtt=0.030)
+#: HSPA RTT once the radio is in DCH (excludes acquisition delay).
+HSPA_RTT = RttModel(base_rtt=0.090)
+#: LAN-only RTT (client to phone proxy over the home Wi-Fi).
+WIFI_LAN_RTT = RttModel(base_rtt=0.003)

@@ -1,0 +1,92 @@
+"""Transfer paths.
+
+A :class:`NetworkPath` is what the 3GOL multipath scheduler sees: an opaque
+pipe to the origin server with a link chain (for the fluid solver), an RTT
+model (per-request overhead) and, for 3G paths, the cellular device behind
+it (for channel acquisition and cap accounting).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.netsim.cellular import CellularDevice
+from repro.netsim.latency import ADSL_RTT, RttModel
+from repro.netsim.link import Link, validate_chain
+
+
+class NetworkPath:
+    """One path between the client and the origin server."""
+
+    def __init__(
+        self,
+        name: str,
+        links: Sequence[Link],
+        rtt: RttModel = ADSL_RTT,
+        device: Optional[CellularDevice] = None,
+        flow_rate_cap_bps: Optional[float] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("path name must be non-empty")
+        self.name = name
+        self.links: Tuple[Link, ...] = validate_chain(links)
+        self.rtt = rtt
+        self.device = device
+        #: Per-transfer rate cap (bits/second). Models a window-limited
+        #: TCP connection: one flow to a distant origin cannot exceed
+        #: rwnd/RTT no matter how fast the access link is — the effect
+        #: that makes 3GOL profitable even on fast ADSL lines (§5.2).
+        if flow_rate_cap_bps is not None and flow_rate_cap_bps <= 0.0:
+            raise ValueError(
+                f"flow_rate_cap_bps must be positive, got {flow_rate_cap_bps}"
+            )
+        self.flow_rate_cap_bps = flow_rate_cap_bps
+        #: Bytes moved over this path (updated by the scheduler machinery;
+        #: includes partial progress of aborted duplicate transfers).
+        self.bytes_used = 0.0
+
+    @property
+    def is_cellular(self) -> bool:
+        """True when the path runs over a 3G device."""
+        return self.device is not None
+
+    def start_delay(self, now: float, fresh_connection: bool = True) -> float:
+        """Seconds before payload bytes flow for a request issued at ``now``.
+
+        Sum of the radio channel-acquisition delay (3G paths starting from
+        idle; zero when the radio is already connected) and the HTTP
+        request overhead in RTTs.
+        """
+        delay = 0.0
+        if self.device is not None:
+            delay += self.device.acquire_channel(now)
+        delay += self.rtt.request_overhead(fresh_connection=fresh_connection)
+        return delay
+
+    def capacity_estimate(self, time: float) -> float:
+        """Single-flow capacity of the chain at ``time`` (bits/second).
+
+        A snapshot lower-level estimate (min link capacity); used for
+        reporting and for the MIN scheduler's bootstrap guess, never by the
+        fluid solver.
+        """
+        capacity = math.inf
+        for link in self.links:
+            capacity = min(capacity, link.capacity_at(time))
+        return capacity
+
+    def notify_activity(self, now: float) -> None:
+        """Record ongoing transfer activity (keeps a 3G radio in DCH)."""
+        if self.device is not None:
+            self.device.radio.touch(now)
+
+    def record_usage(self, nbytes: float) -> None:
+        """Account ``nbytes`` moved over this path."""
+        if nbytes < 0.0:
+            raise ValueError(f"usage must be non-negative, got {nbytes}")
+        self.bytes_used += nbytes
+
+    def __repr__(self) -> str:
+        kind = "3g" if self.is_cellular else "wired"
+        return f"NetworkPath({self.name!r}, {kind}, {len(self.links)} links)"

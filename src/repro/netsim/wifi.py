@@ -1,0 +1,81 @@
+"""Home Wi-Fi LAN model.
+
+In the 3GOL architecture every participating device hangs off the home
+Wi-Fi, so the LAN is the common first hop of all onloaded transfers and an
+upper bound on the achievable aggregation (§4.1 of the paper: TCP goodput
+is around 24 Mbps for 802.11g and 110 Mbps for 802.11n). We model the LAN
+as a single shared link whose goodput is the standard-dependent maximum
+degraded by an interference factor for co-located overlapping networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.link import Link, StochasticLink
+from repro.netsim.stochastic import LognormalProcess
+from repro.util.units import mbps
+from repro.util.validate import check_fraction, check_non_negative
+
+
+@dataclass(frozen=True)
+class WifiStandard:
+    """A Wi-Fi PHY generation and its practical TCP goodput."""
+
+    name: str
+    tcp_goodput_bps: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("tcp_goodput_bps", self.tcp_goodput_bps)
+
+
+#: The two standards the paper quotes (§4.1).
+WIFI_80211G = WifiStandard("802.11g", mbps(24.0))
+WIFI_80211N = WifiStandard("802.11n", mbps(110.0))
+
+
+class WifiNetwork:
+    """The home WLAN: builds the shared LAN :class:`Link`.
+
+    ``interference_loss`` removes a fraction of goodput for overlapping
+    BSSs and channel contention; ``fading_sigma`` adds lognormal short-term
+    variation (0 disables it and yields a plain fixed link, which the
+    scheduler-comparison experiment uses for its night-time "minimal
+    fluctuation" setting).
+    """
+
+    def __init__(
+        self,
+        standard: WifiStandard = WIFI_80211N,
+        interference_loss: float = 0.1,
+        fading_sigma: float = 0.0,
+        fading_interval: float = 0.5,
+        seed: int = 0,
+        name: str = "wifi-lan",
+    ) -> None:
+        self.standard = standard
+        self.interference_loss = check_fraction(
+            "interference_loss", interference_loss
+        )
+        self.fading_sigma = check_non_negative("fading_sigma", fading_sigma)
+        self.fading_interval = fading_interval
+        self.seed = int(seed)
+        self.name = name
+
+    @property
+    def effective_goodput_bps(self) -> float:
+        """Mean TCP goodput after interference loss."""
+        return self.standard.tcp_goodput_bps * (1.0 - self.interference_loss)
+
+    def build_link(self) -> Link:
+        """Materialise the LAN as a simulator link."""
+        if self.fading_sigma == 0.0:
+            return Link(self.name, self.effective_goodput_bps)
+        process = LognormalProcess(
+            seed=self.seed,
+            interval=self.fading_interval,
+            sigma=self.fading_sigma,
+            floor=0.2,
+            ceiling=1.5,
+        )
+        return StochasticLink(self.name, self.effective_goodput_bps, process)

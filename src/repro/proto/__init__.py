@@ -1,0 +1,33 @@
+"""Loopback prototype: the 3GOL data plane over real TCP sockets.
+
+The paper's prototype runs on rooted Android phones; the closest
+executable equivalent here is a loopback deployment on 127.0.0.1:
+
+* :class:`~repro.proto.origin.LoopbackOrigin` — a real threaded HTTP
+  server hosting HLS playlists/segments and accepting multipart uploads
+  (the §5 "dedicated well provisioned web server");
+* :class:`~repro.proto.mobileproxy.MobileProxy` — the mobile component: a
+  TCP proxy that pipes HTTP requests to the origin through a token-bucket
+  shaper standing in for the phone's 3G interface;
+* :class:`~repro.proto.client.PrototypeClient` — the client component:
+  fetches and parses the real m3u8 over the (shaped) gateway path, then
+  drives the *same scheduling policies as the simulator* over real
+  threads and sockets.
+
+The shapers (:mod:`repro.proto.shaping`) emulate the ADSL line and the 3G
+channels; everything else — HTTP parsing, proxying, parallel scheduling,
+duplicate aborts — is the genuine article.
+"""
+
+from repro.proto.shaping import TokenBucket
+from repro.proto.origin import LoopbackOrigin
+from repro.proto.mobileproxy import MobileProxy
+from repro.proto.client import PrototypeClient, ThreadedTransferReport
+
+__all__ = [
+    "TokenBucket",
+    "LoopbackOrigin",
+    "MobileProxy",
+    "PrototypeClient",
+    "ThreadedTransferReport",
+]

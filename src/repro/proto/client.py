@@ -1,0 +1,340 @@
+"""The prototype's client component: real threads, real sockets.
+
+Drives the *same* :class:`~repro.core.scheduler.base.SchedulingPolicy`
+implementations as the simulator over actual TCP connections: one worker
+thread per path, each holding a persistent connection to its shaped proxy
+(the gateway pipe or a phone's 3G proxy). The greedy policy's endgame
+duplication works exactly as in §4.1.1 — when the first copy of an item
+completes, the losing copies are cancelled (their workers notice a cancel
+flag between receive chunks and drop the connection).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.items import Transaction
+from repro.core.scheduler.base import PathWorker, SchedulingPolicy
+from repro.netsim.link import Link
+from repro.netsim.path import NetworkPath
+from repro.proto import httpwire
+
+RECV_CHUNK = 64 * 1024
+
+
+@dataclass
+class ItemTiming:
+    """Completion record for one item fetched by the prototype."""
+
+    label: str
+    path_name: str
+    size_bytes: int
+    started_at: float
+    completed_at: float
+    copies: int = 1
+
+    @property
+    def duration(self) -> float:
+        """Seconds from first scheduling of this item to completion."""
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class ThreadedTransferReport:
+    """Outcome of one prototype transaction."""
+
+    total_time: float
+    records: Dict[str, ItemTiming]
+    wasted_bytes: int
+    bytes_by_path: Dict[str, int]
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of the winning copies."""
+        return sum(r.size_bytes for r in self.records.values())
+
+
+class _Endpoint:
+    """One path: a named, persistent connection target."""
+
+    def __init__(self, name: str, address: Tuple[str, int]) -> None:
+        self.name = name
+        self.address = address
+        self.cancel = threading.Event()
+        self.sock: Optional[socket.socket] = None
+
+    def connect(self) -> socket.socket:
+        """(Re)open the persistent connection."""
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        self.sock = socket.create_connection(self.address, timeout=30.0)
+        return self.sock
+
+    def close(self) -> None:
+        """Drop the connection."""
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+
+class _Cancelled(Exception):
+    """Raised inside a worker when its in-flight copy lost the race."""
+
+
+def _read_response_cancellable(
+    sock: socket.socket, cancel: threading.Event
+) -> Tuple[int, bytes]:
+    """Read one response, checking the cancel flag between chunks."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        if cancel.is_set():
+            raise _Cancelled()
+        chunk = sock.recv(RECV_CHUNK)
+        if not chunk:
+            raise httpwire.WireError("closed mid-header")
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    first, headers = httpwire.parse_head(head + b"\r\n\r\n")
+    status = int(first.split(" ", 2)[1])
+    length = int(headers.get("content-length", "0"))
+    while len(body) < length:
+        if cancel.is_set():
+            raise _Cancelled()
+        chunk = sock.recv(RECV_CHUNK)
+        if not chunk:
+            raise httpwire.WireError("closed mid-body")
+        body += chunk
+    return status, body
+
+
+class PrototypeClient:
+    """Runs transactions over real shaped paths with a scheduling policy."""
+
+    def __init__(
+        self, endpoints: Sequence[Tuple[str, Tuple[str, int]]]
+    ) -> None:
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        self.endpoints = [_Endpoint(name, addr) for name, addr in endpoints]
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def run_download(
+        self,
+        transaction: Transaction,
+        policy: SchedulingPolicy,
+        host: str = "origin",
+        timeout: float = 120.0,
+    ) -> ThreadedTransferReport:
+        """Fetch every item (item labels are URL paths) via GET."""
+        return self._run(transaction, policy, "GET", host, timeout)
+
+    def run_upload(
+        self,
+        transaction: Transaction,
+        policy: SchedulingPolicy,
+        host: str = "origin",
+        timeout: float = 120.0,
+        upload_path: str = "/upload",
+    ) -> ThreadedTransferReport:
+        """POST every item's payload (deterministic filler bytes)."""
+        return self._run(
+            transaction, policy, "POST", host, timeout, upload_path
+        )
+
+    # ------------------------------------------------------------------
+    # Machinery
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        transaction: Transaction,
+        policy: SchedulingPolicy,
+        method: str,
+        host: str,
+        timeout: float,
+        upload_path: str = "/upload",
+    ) -> ThreadedTransferReport:
+        lock = threading.Lock()
+        work_available = threading.Condition(lock)
+        started = time.monotonic()
+
+        workers = []
+        dummy_links = [Link("wire", 1.0)]
+        for index, endpoint in enumerate(self.endpoints):
+            # PathWorker wants a NetworkPath; give it a nominal one (the
+            # policies only read names/estimates, and MIN's prior covers
+            # the missing capacity knowledge — as for a real client).
+            path = NetworkPath(endpoint.name, dummy_links)
+            workers.append(PathWorker(index=index, path=path))
+
+        items_total = len(transaction)
+        completed: Dict[str, ItemTiming] = {}
+        scheduled_at: Dict[str, float] = {}
+        copies_inflight: Dict[str, List[int]] = {}
+        copy_counts: Dict[str, int] = {}
+        wasted = 0
+        bytes_by_path: Dict[str, int] = {
+            endpoint.name: 0 for endpoint in self.endpoints
+        }
+        failure: List[BaseException] = []
+
+        policy.initialize(workers, transaction.items)
+
+        def now() -> float:
+            return time.monotonic() - started
+
+        def worker_loop(index: int) -> None:
+            nonlocal wasted
+            endpoint = self.endpoints[index]
+            worker = workers[index]
+            try:
+                endpoint.connect()
+            except OSError as exc:
+                with lock:
+                    failure.append(exc)
+                    work_available.notify_all()
+                return
+            while True:
+                with lock:
+                    if failure or len(completed) >= items_total:
+                        return
+                    worker.current_item = None
+                    worker.remaining_bytes = 0.0
+                    assignment = policy.next_item(worker, now())
+                    if assignment is None:
+                        # Nothing for this path right now; wait for a
+                        # state change (someone completing) and retry.
+                        work_available.wait(timeout=0.2)
+                        continue
+                    item = assignment.item
+                    if item.label in completed:
+                        continue
+                    worker.current_item = item
+                    worker.remaining_bytes = item.size_bytes
+                    scheduled_at.setdefault(item.label, now())
+                    copies_inflight.setdefault(item.label, []).append(index)
+                    copy_counts[item.label] = copy_counts.get(item.label, 0) + 1
+                    endpoint.cancel.clear()
+                try:
+                    size = self._transfer_one(
+                        endpoint, method, host, item, upload_path
+                    )
+                except _Cancelled:
+                    with lock:
+                        self._forget_copy(copies_inflight, item.label, index)
+                        policy.on_item_aborted(worker, item, now())
+                    endpoint.connect()  # fresh connection after the drop
+                    continue
+                except (httpwire.WireError, OSError) as exc:
+                    with lock:
+                        failure.append(exc)
+                        work_available.notify_all()
+                    return
+                with lock:
+                    self._forget_copy(copies_inflight, item.label, index)
+                    bytes_by_path[endpoint.name] += size
+                    duration = now() - scheduled_at[item.label]
+                    policy.on_item_complete(worker, item, duration, now())
+                    if item.label in completed:
+                        wasted += size
+                    else:
+                        completed[item.label] = ItemTiming(
+                            label=item.label,
+                            path_name=endpoint.name,
+                            size_bytes=size,
+                            started_at=scheduled_at[item.label],
+                            completed_at=now(),
+                            copies=copy_counts[item.label],
+                        )
+                        # Cancel losing copies still in flight elsewhere.
+                        for other in copies_inflight.get(item.label, []):
+                            self.endpoints[other].cancel.set()
+                    worker.current_item = None
+                    work_available.notify_all()
+                    if len(completed) >= items_total:
+                        return
+
+        threads = [
+            threading.Thread(
+                target=worker_loop, args=(i,), name=f"3gol-{e.name}",
+                daemon=True,
+            )
+            for i, e in enumerate(self.endpoints)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + timeout
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        for endpoint in self.endpoints:
+            endpoint.cancel.set()
+            endpoint.close()
+        if failure:
+            raise RuntimeError(
+                f"prototype transfer failed: {failure[0]!r}"
+            ) from failure[0]
+        if len(completed) < items_total:
+            missing = sorted(
+                item.label
+                for item in transaction.items
+                if item.label not in completed
+            )
+            raise TimeoutError(
+                f"transaction incomplete after {timeout}s: missing {missing[:5]}"
+            )
+        total_time = max(r.completed_at for r in completed.values())
+        return ThreadedTransferReport(
+            total_time=total_time,
+            records=completed,
+            wasted_bytes=wasted,
+            bytes_by_path=bytes_by_path,
+        )
+
+    @staticmethod
+    def _forget_copy(
+        copies: Dict[str, List[int]], label: str, index: int
+    ) -> None:
+        entries = copies.get(label, [])
+        if index in entries:
+            entries.remove(index)
+
+    def _transfer_one(
+        self,
+        endpoint: _Endpoint,
+        method: str,
+        host: str,
+        item,
+        upload_path: str,
+    ) -> int:
+        """One GET or POST over the endpoint's persistent connection."""
+        sock = endpoint.sock
+        assert sock is not None
+        if method == "GET":
+            request = httpwire.render_request("GET", item.label, host)
+        else:
+            payload = (item.label.encode("ascii") + b"|") * (
+                int(item.size_bytes) // (len(item.label) + 1) + 1
+            )
+            payload = payload[: int(item.size_bytes)]
+            request = httpwire.render_request(
+                "POST",
+                f"{upload_path}/{item.label.strip('/')}",
+                host,
+                body=payload,
+            )
+        sock.sendall(request)
+        status, body = _read_response_cancellable(sock, endpoint.cancel)
+        if status != 200:
+            raise httpwire.WireError(f"unexpected status {status}")
+        return len(body) if method == "GET" else int(item.size_bytes)

@@ -1,0 +1,115 @@
+"""Minimal HTTP/1.1 wire helpers shared by the prototype components.
+
+Covers exactly what the 3GOL data path needs: request/status lines,
+headers, Content-Length-framed bodies, and persistent connections. No
+chunked encoding (the origin always knows its sizes), no TLS.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional, Tuple
+
+MAX_HEADER_BYTES = 64 * 1024
+RECV_CHUNK = 64 * 1024
+
+
+class WireError(Exception):
+    """Malformed or truncated HTTP traffic."""
+
+
+def read_until_blank_line(sock: socket.socket, buffered: bytes = b"") -> Tuple[bytes, bytes]:
+    """Read up to and including the header/body separator.
+
+    Returns ``(head, leftover)`` where ``head`` ends with CRLFCRLF and
+    ``leftover`` is any body bytes already read.
+    """
+    data = buffered
+    while b"\r\n\r\n" not in data:
+        if len(data) > MAX_HEADER_BYTES:
+            raise WireError("header section too large")
+        chunk = sock.recv(RECV_CHUNK)
+        if not chunk:
+            if not data:
+                raise WireError("connection closed before request")
+            raise WireError("connection closed mid-header")
+        data += chunk
+    head, _, leftover = data.partition(b"\r\n\r\n")
+    return head + b"\r\n\r\n", leftover
+
+
+def parse_head(head: bytes) -> Tuple[str, Dict[str, str]]:
+    """Split a header block into its first line and a lowercase header map."""
+    lines = head.decode("latin-1").split("\r\n")
+    first = lines[0]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise WireError(f"malformed header line {line!r}")
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return first, headers
+
+
+def read_body(
+    sock: socket.socket, leftover: bytes, content_length: int
+) -> bytes:
+    """Read exactly ``content_length`` body bytes."""
+    body = leftover
+    while len(body) < content_length:
+        chunk = sock.recv(RECV_CHUNK)
+        if not chunk:
+            raise WireError("connection closed mid-body")
+        body += chunk
+    if len(body) > content_length:
+        raise WireError("more body bytes than Content-Length")
+    return body
+
+
+def render_request(
+    method: str,
+    path: str,
+    host: str,
+    headers: Optional[Dict[str, str]] = None,
+    body: bytes = b"",
+) -> bytes:
+    """Serialise a request with Content-Length framing."""
+    out = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+    merged = {"Content-Length": str(len(body))} if body else {}
+    if headers:
+        merged.update(headers)
+    for name, value in merged.items():
+        out.append(f"{name}: {value}")
+    out.append("Connection: keep-alive")
+    return ("\r\n".join(out) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_response(
+    status: int,
+    reason: str,
+    body: bytes = b"",
+    content_type: str = "application/octet-stream",
+) -> bytes:
+    """Serialise a response with Content-Length framing."""
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def read_response(sock: socket.socket) -> Tuple[int, Dict[str, str], bytes]:
+    """Read one response; returns (status, headers, body)."""
+    head, leftover = read_until_blank_line(sock)
+    first, headers = parse_head(head)
+    parts = first.split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise WireError(f"malformed status line {first!r}")
+    status = int(parts[1])
+    length = int(headers.get("content-length", "0"))
+    body = read_body(sock, leftover, length)
+    return status, headers, body

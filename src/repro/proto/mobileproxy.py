@@ -1,0 +1,136 @@
+"""The mobile component's proxy, as a real TCP server.
+
+"[The mobile component] implements a proxy that pipes incoming
+connections through the 3G network" (§2.4). Here the 3G interface is a
+token-bucket shaper: every byte relayed between the LAN-facing socket and
+the origin passes through the bucket, so the proxy's throughput is the
+emulated channel's. Both directions are shaped (HSDPA down, HSUPA up may
+have different buckets).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.proto import httpwire
+from repro.proto.shaping import TokenBucket, shaped_send
+
+
+class MobileProxy:
+    """A forwarding HTTP proxy with per-direction rate shaping."""
+
+    def __init__(
+        self,
+        origin_address: Tuple[str, int],
+        down_bucket: Optional[TokenBucket] = None,
+        up_bucket: Optional[TokenBucket] = None,
+        name: str = "phone",
+    ) -> None:
+        self.origin_address = origin_address
+        self.down_bucket = down_bucket
+        self.up_bucket = up_bucket
+        self.name = name
+        #: Bytes relayed in each direction, for cap accounting.
+        self.bytes_down = 0
+        self.bytes_up = 0
+        self._counters_lock = threading.Lock()
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen(32)
+        self.host, self.port = self._server.getsockname()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MobileProxy":
+        """Start accepting LAN connections."""
+        self._running = True
+        threading.Thread(
+            target=self._accept_loop, name=f"{self.name}-accept", daemon=True
+        ).start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the proxy."""
+        self._running = False
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "MobileProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) the proxy listens on (the LAN side)."""
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------
+    # Relaying
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        """Pipe one LAN connection's requests through the shaped uplink.
+
+        One upstream connection to the origin per client connection —
+        the same connection-per-path model the prototype client uses.
+        """
+        upstream = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            upstream.connect(self.origin_address)
+            leftover = b""
+            while True:
+                head, leftover = httpwire.read_until_blank_line(
+                    client, leftover
+                )
+                first, headers = httpwire.parse_head(head)
+                length = int(headers.get("content-length", "0"))
+                body = httpwire.read_body(client, leftover, length)
+                leftover = b""
+                # Request (uplink direction: through HSUPA shaping).
+                shaped_send(upstream, head + body, self.up_bucket)
+                with self._counters_lock:
+                    self.bytes_up += len(body)
+                # Response (downlink: through HSDPA shaping).
+                status, resp_headers, resp_body = httpwire.read_response(
+                    upstream
+                )
+                response = httpwire.render_response(
+                    status,
+                    "OK" if status == 200 else "Err",
+                    resp_body,
+                    content_type=resp_headers.get(
+                        "content-type", "application/octet-stream"
+                    ),
+                )
+                # Count before sending: the client may observe the full
+                # response the instant sendall returns, so post-send
+                # accounting would race observers of the counters.
+                with self._counters_lock:
+                    self.bytes_down += len(resp_body)
+                shaped_send(client, response, self.down_bucket)
+        except (httpwire.WireError, OSError):
+            pass
+        finally:
+            for sock in (client, upstream):
+                try:
+                    sock.close()
+                except OSError:
+                    pass

@@ -1,0 +1,98 @@
+"""Bandwidth shaping for the loopback prototype.
+
+A :class:`TokenBucket` paces byte streams to a configured rate, emulating
+the ADSL line and the phones' 3G channels on the loopback interface. The
+bucket is thread-safe: several transfers through the same proxy share the
+same bucket, which reproduces the capacity-sharing behaviour of the real
+links (approximately FIFO rather than max-min, which is close enough at
+the granularity the prototype is evaluated at).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.util.validate import check_positive
+
+#: Chunk size for shaped copies; small enough for smooth pacing at the
+#: rates the prototype uses (hundreds of kB/s to a few MB/s).
+CHUNK_BYTES = 16 * 1024
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``consume(n)`` blocks until n bytes may pass.
+
+    ``rate_bytes_per_s`` is the sustained rate; ``burst_bytes`` bounds how
+    much can pass instantaneously (defaults to 1/10 s worth of tokens).
+    A ``clock``/``sleep`` pair can be injected for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate_bytes_per_s: float,
+        burst_bytes: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        check_positive("rate_bytes_per_s", rate_bytes_per_s)
+        self.rate = float(rate_bytes_per_s)
+        self.burst = (
+            float(burst_bytes) if burst_bytes is not None else self.rate / 10.0
+        )
+        if self.burst <= 0.0:
+            raise ValueError(f"burst_bytes must be positive, got {burst_bytes}")
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens = self.burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def consume(self, nbytes: int) -> None:
+        """Block until ``nbytes`` tokens are available, then take them.
+
+        Requests larger than the burst are paid off in instalments so a
+        big chunk cannot deadlock against the bucket depth. Residuals
+        below a nanobyte are forgiven and waits are floored at a
+        microsecond: float subtraction can leave sub-representable
+        remainders whose "wait" would not advance the clock at all.
+        """
+        remaining = float(nbytes)
+        while remaining > 1e-9:
+            with self._lock:
+                now = self._clock()
+                self._refill(now)
+                take = min(remaining, self._tokens)
+                self._tokens -= take
+                remaining -= take
+                if remaining <= 1e-9:
+                    return
+                # Out of tokens: wait for the deficit (capped at one burst).
+                deficit = min(remaining, self.burst)
+                wait = max(deficit / self.rate, 1e-6)
+            self._sleep(wait)
+
+    def set_rate(self, rate_bytes_per_s: float) -> None:
+        """Change the sustained rate (models varying radio conditions)."""
+        check_positive("rate_bytes_per_s", rate_bytes_per_s)
+        with self._lock:
+            self._refill(self._clock())
+            self.rate = float(rate_bytes_per_s)
+
+
+def shaped_send(sock, data: bytes, bucket: Optional[TokenBucket]) -> None:
+    """Send ``data`` over ``sock``, pacing through ``bucket`` if given."""
+    view = memoryview(data)
+    offset = 0
+    while offset < len(view):
+        chunk = view[offset : offset + CHUNK_BYTES]
+        if bucket is not None:
+            bucket.consume(len(chunk))
+        sock.sendall(chunk)
+        offset += len(chunk)

@@ -1,0 +1,45 @@
+"""Synthetic photo sets (§5.2).
+
+"We repeatedly upload a set of 30 pictures with average size of 2.5 MB and
+standard deviation of 0.74 MB. We obtain these values from a set of 200
+pictures taken with iPhone 5 and iPhone 4S." The generator draws from a
+normal with those moments, truncated to a plausible JPEG range.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.util.rng import SeedLike, spawn_rng
+from repro.util.units import MB
+from repro.web.upload import Photo
+
+#: The paper's photo-set statistics.
+DEFAULT_COUNT = 30
+MEAN_BYTES = 2.5 * MB
+STDEV_BYTES = 0.74 * MB
+#: Truncation: no real camera JPEG of that era is under ~0.3 MB or (at
+#: 8 Mpx) much over ~6 MB.
+MIN_BYTES = 0.3 * MB
+MAX_BYTES = 6.0 * MB
+
+
+def generate_photo_set(
+    count: int = DEFAULT_COUNT,
+    seed: SeedLike = 0,
+    mean_bytes: float = MEAN_BYTES,
+    stdev_bytes: float = STDEV_BYTES,
+) -> List[Photo]:
+    """Draw a photo set with the paper's size distribution."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = spawn_rng(seed)
+    sizes = np.clip(
+        rng.normal(mean_bytes, stdev_bytes, size=count), MIN_BYTES, MAX_BYTES
+    )
+    return [
+        Photo(name=f"IMG_{i:04d}.jpg", size_bytes=float(size))
+        for i, size in enumerate(sizes)
+    ]

@@ -1,0 +1,51 @@
+"""Small argument-validation helpers.
+
+These raise :class:`ValueError` with a message naming the offending
+parameter. They exist so constructors across the code base validate
+consistently and tests can assert on uniform failure behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+
+def _check_finite_number(name: str, value: Number) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_positive(name: str, value: Number) -> float:
+    """Validate that ``value`` is a finite number strictly greater than 0."""
+    value = _check_finite_number(name, value)
+    if value <= 0.0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to 0."""
+    value = _check_finite_number(name, value)
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: Number) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = _check_finite_number(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+# A probability is the same constraint as a generic fraction; the alias keeps
+# call sites self-documenting.
+check_probability = check_fraction

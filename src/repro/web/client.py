@@ -1,0 +1,111 @@
+"""Sequential HTTP client.
+
+This models the *unassisted* application behaviour — the baseline every
+3GOL comparison is made against: an HLS player requesting segments one at
+a time over the house's single connection (§4.1: "the player sequentially
+requests the segments, one at a time, in the same order in which they will
+be required by the decoder"), and a native photo uploader POSTing one file
+at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.netsim.fluid import Flow, FluidNetwork
+from repro.netsim.path import NetworkPath
+from repro.util.validate import check_positive
+
+
+@dataclass(frozen=True)
+class TransferLogEntry:
+    """Timing record for one completed transfer."""
+
+    label: str
+    size_bytes: float
+    started_at: float
+    completed_at: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock transfer time including request overhead."""
+        return self.completed_at - self.started_at
+
+
+class SequentialHttpClient:
+    """Issues transfers one at a time over a single path."""
+
+    def __init__(self, network: FluidNetwork, path: NetworkPath) -> None:
+        self.network = network
+        self.path = path
+        self.log: List[TransferLogEntry] = []
+
+    def submit(
+        self,
+        items: Sequence[Tuple[str, float]],
+        on_item_complete: Optional[Callable[[TransferLogEntry], None]] = None,
+        on_all_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Queue ``items`` (``(label, size_bytes)`` pairs) for transfer.
+
+        Transfers run back to back: each begins with the path's request
+        overhead (the first also pays for a fresh TCP connection and, on a
+        3G path, the radio acquisition), then moves its payload. Use
+        :meth:`run` (or step the network yourself) to execute.
+        """
+        if not items:
+            raise ValueError("need at least one item")
+        for label, size in items:
+            check_positive(f"size of {label!r}", size)
+        queue = list(items)
+
+        def start_next(first: bool) -> None:
+            label, size = queue.pop(0)
+            issued_at = self.network.time
+            delay = self.path.start_delay(issued_at, fresh_connection=first)
+
+            def complete(flow: Flow, now: float) -> None:
+                entry = TransferLogEntry(
+                    label=label,
+                    size_bytes=size,
+                    started_at=issued_at,
+                    completed_at=now,
+                )
+                self.log.append(entry)
+                self.path.record_usage(flow.transferred_bytes)
+                if on_item_complete is not None:
+                    on_item_complete(entry)
+                if queue:
+                    start_next(False)
+                elif on_all_complete is not None:
+                    on_all_complete(now)
+
+            flow = Flow(
+                size,
+                self.path.links,
+                rate_cap_bps=self.path.flow_rate_cap_bps,
+                on_complete=complete,
+                label=f"{self.path.name}:{label}",
+            )
+            self.network.add_flow(flow, delay=delay)
+
+        start_next(True)
+
+    def run(
+        self, items: Sequence[Tuple[str, float]], until: float = float("inf")
+    ) -> float:
+        """Submit ``items`` and run the network until they complete.
+
+        Returns the total transaction time (completion minus submit time).
+        """
+        started = self.network.time
+        finished: List[float] = []
+        self.submit(items, on_all_complete=finished.append)
+        self.network.run(until=until)
+        if not finished:
+            raise RuntimeError(
+                f"transfers did not complete by t={self.network.time:.1f}s "
+                f"(path {self.path.name!r} may be dead)"
+            )
+        return finished[0] - started

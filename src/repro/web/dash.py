@@ -1,0 +1,136 @@
+"""DASH (MPEG-DASH) manifest support.
+
+§4.1: "HLS is similar to Dynamic Adaptive Streaming over HTTP (DASH)".
+The 3GOL proxy's trick — intercept the manifest, prefetch segments in
+parallel — works identically for DASH; this module provides the MPD
+(Media Presentation Description) counterpart of :mod:`repro.web.hls`:
+rendering a :class:`~repro.web.hls.VideoAsset` as an MPD and parsing an
+MPD (SegmentTemplate-with-duration profile) back into playlists the
+proxy can schedule.
+
+Only the static-VoD subset the proxy needs is implemented — one period,
+one adaptation set, one representation per quality, ``SegmentTemplate``
+with ``$Number$`` addressing.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List
+
+from repro.web.hls import (
+    HlsPlaylist,
+    MediaSegment,
+    VideoAsset,
+    VideoQuality,
+)
+
+_MPD_NS = "urn:mpeg:dash:schema:mpd:2011"
+
+
+def _duration_attr(seconds: float) -> str:
+    """ISO-8601 duration, the MPD attribute format."""
+    return f"PT{seconds:.3f}S"
+
+
+def _parse_duration(value: str) -> float:
+    """Parse the PT…S subset of ISO-8601 durations used here."""
+    if not value.startswith("PT") or not value.endswith("S"):
+        raise ValueError(f"unsupported MPD duration {value!r}")
+    return float(value[2:-1])
+
+
+def render_mpd(video: VideoAsset) -> str:
+    """Render a video asset as a static-VoD MPD."""
+    ET.register_namespace("", _MPD_NS)
+    mpd = ET.Element(
+        f"{{{_MPD_NS}}}MPD",
+        {
+            "type": "static",
+            "mediaPresentationDuration": _duration_attr(video.duration_s),
+            "profiles": "urn:mpeg:dash:profile:isoff-on-demand:2011",
+        },
+    )
+    period = ET.SubElement(mpd, f"{{{_MPD_NS}}}Period")
+    adaptation = ET.SubElement(
+        period,
+        f"{{{_MPD_NS}}}AdaptationSet",
+        {"contentType": "video", "mimeType": "video/mp2t"},
+    )
+    for name, playlist in sorted(video.playlists.items()):
+        representation = ET.SubElement(
+            adaptation,
+            f"{{{_MPD_NS}}}Representation",
+            {
+                "id": name,
+                "bandwidth": str(int(playlist.quality.bitrate_bps)),
+            },
+        )
+        ET.SubElement(
+            representation,
+            f"{{{_MPD_NS}}}SegmentTemplate",
+            {
+                "media": f"/{video.name}/{name}/seg$Number%05d$.ts",
+                "startNumber": "0",
+                "duration": str(int(video.segment_s * 1000)),
+                "timescale": "1000",
+            },
+        )
+    return ET.tostring(mpd, encoding="unicode", xml_declaration=True)
+
+
+def parse_mpd(text: str, video_name: str = "video") -> Dict[str, HlsPlaylist]:
+    """Parse an MPD into per-representation playlists.
+
+    Segment sizes are derived from the representation bandwidth and the
+    template duration (the same bitrate-times-duration arithmetic a DASH
+    client uses for buffer planning).
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ValueError(f"not an MPD: {exc}") from None
+    if not root.tag.endswith("MPD"):
+        raise ValueError(f"not an MPD root element: {root.tag!r}")
+    total_duration = _parse_duration(
+        root.attrib["mediaPresentationDuration"]
+    )
+    ns = {"mpd": _MPD_NS}
+    playlists: Dict[str, HlsPlaylist] = {}
+    for representation in root.findall(
+        ".//mpd:Representation", ns
+    ) or root.findall(".//Representation"):
+        rep_id = representation.attrib["id"]
+        bandwidth = float(representation.attrib["bandwidth"])
+        template = representation.find("mpd:SegmentTemplate", ns)
+        if template is None:
+            template = representation.find("SegmentTemplate")
+        if template is None:
+            raise ValueError(f"representation {rep_id!r} has no template")
+        timescale = float(template.attrib.get("timescale", "1"))
+        segment_s = float(template.attrib["duration"]) / timescale
+        media = template.attrib["media"]
+        start = int(template.attrib.get("startNumber", "0"))
+        quality = VideoQuality(rep_id, bandwidth)
+        segments: List[MediaSegment] = []
+        remaining = total_duration
+        number = start
+        while remaining > 1e-9:
+            duration = min(segment_s, remaining)
+            uri = media.replace("$Number%05d$", f"{number:05d}").replace(
+                "$Number$", str(number)
+            )
+            segments.append(
+                MediaSegment(
+                    index=number - start,
+                    uri=uri,
+                    duration_s=duration,
+                    size_bytes=quality.segment_bytes(duration),
+                )
+            )
+            remaining -= duration
+            number += 1
+        playlists[rep_id] = HlsPlaylist(video_name, quality, segments)
+    if not playlists:
+        raise ValueError("MPD contains no representations")
+    return playlists

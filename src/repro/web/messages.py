@@ -1,0 +1,117 @@
+"""HTTP request/response objects.
+
+These are deliberately minimal: the simulator only needs methods, URLs,
+payload sizes and a handful of headers (Content-Length, Range, Content-Type
+for multipart uploads). The loopback prototype (:mod:`repro.proto`) speaks
+real wire-format HTTP instead; this module is the in-simulator counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.util.validate import check_non_negative
+
+_METHODS = frozenset({"GET", "POST", "PUT", "HEAD", "DELETE"})
+
+
+class Headers:
+    """Case-insensitive HTTP header map with stable insertion order."""
+
+    def __init__(self, items: Optional[Dict[str, str]] = None) -> None:
+        self._items: Dict[str, Tuple[str, str]] = {}
+        if items:
+            for name, value in items.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        """Set (replace) a header."""
+        if not name or any(c in name for c in " \r\n:"):
+            raise ValueError(f"invalid header name {name!r}")
+        self._items[name.lower()] = (name, str(value))
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Get a header value, case-insensitively."""
+        entry = self._items.get(name.lower())
+        return entry[1] if entry else default
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._items
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        # Compare case-insensitively: only the values matter, not the
+        # original spelling of the names.
+        mine = {key: value for key, (_, value) in self._items.items()}
+        theirs = {key: value for key, (_, value) in other._items.items()}
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return f"Headers({dict(iter(self))!r})"
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request.
+
+    ``body_bytes`` is the upload payload volume (zero for GETs); the
+    response volume lives on the matching :class:`HttpResponse`.
+    """
+
+    method: str
+    url: str
+    headers: Headers = field(default_factory=Headers)
+    body_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        method = self.method.upper()
+        if method not in _METHODS:
+            raise ValueError(f"unsupported HTTP method {self.method!r}")
+        self.method = method
+        if not self.url:
+            raise ValueError("url must be non-empty")
+        check_non_negative("body_bytes", self.body_bytes)
+
+    @property
+    def is_upload(self) -> bool:
+        """True when the payload travels client -> server."""
+        return self.body_bytes > 0.0
+
+    @property
+    def path(self) -> str:
+        """URL path component (everything after host, before query)."""
+        rest = self.url
+        if "://" in rest:
+            rest = rest.split("://", 1)[1]
+            rest = "/" + rest.split("/", 1)[1] if "/" in rest else "/"
+        return rest.split("?", 1)[0]
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response: a status code and a payload volume."""
+
+    status: int
+    body_bytes: float = 0.0
+    headers: Headers = field(default_factory=Headers)
+    body: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 100 <= self.status <= 599:
+            raise ValueError(f"invalid HTTP status {self.status}")
+        check_non_negative("body_bytes", self.body_bytes)
+        if self.body is not None and self.body_bytes == 0.0:
+            self.body_bytes = float(len(self.body.encode("utf-8")))
+
+    @property
+    def ok(self) -> bool:
+        """True for a 2xx status."""
+        return 200 <= self.status < 300

@@ -1,0 +1,89 @@
+"""Origin web server model.
+
+§5 of the paper uses "a dedicated well provisioned web server, featuring a
+stable bandwidth of 100 Mbps in download and 40 Mbps in upload", with
+caching disabled. This class models that server: it resolves simulated
+requests (playlists, segments, uploads) to response volumes, and exposes
+its NIC as simulator links so a saturated server is a real bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.netsim.link import Link
+from repro.web.hls import HlsPlaylist, VideoAsset, render_m3u8
+from repro.web.messages import HttpRequest, HttpResponse
+from repro.util.units import mbps
+from repro.util.validate import check_positive
+
+
+class OriginServer:
+    """The content server of the evaluation testbed."""
+
+    def __init__(
+        self,
+        down_bps: float = mbps(100.0),
+        up_bps: float = mbps(40.0),
+        name: str = "origin",
+    ) -> None:
+        check_positive("down_bps", down_bps)
+        check_positive("up_bps", up_bps)
+        self.name = name
+        self.downlink = Link(f"{name}-down", down_bps)
+        self.uplink = Link(f"{name}-up", up_bps)
+        self._videos: Dict[str, VideoAsset] = {}
+        self._segment_index: Dict[str, float] = {}
+        self._playlist_index: Dict[str, HlsPlaylist] = {}
+        #: Upload payloads received, by URL, for test assertions.
+        self.received_uploads: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Content management
+    # ------------------------------------------------------------------
+    def host_video(self, video: VideoAsset) -> None:
+        """Publish a video: registers all playlists and segments."""
+        self._videos[video.name] = video
+        for playlist in video.playlists.values():
+            self._playlist_index[playlist.playlist_uri] = playlist
+            for segment in playlist.segments:
+                self._segment_index[segment.uri] = segment.size_bytes
+
+    def video(self, name: str) -> VideoAsset:
+        """Look up a hosted video."""
+        try:
+            return self._videos[name]
+        except KeyError:
+            raise KeyError(f"no video {name!r} hosted") from None
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Resolve a simulated request to a response volume.
+
+        GETs for known playlists return the rendered m3u8 text; GETs for
+        known segments return their encoded size; POSTs are accepted and
+        their payload recorded; anything else is a 404.
+        """
+        if request.method == "POST":
+            self.received_uploads[request.url] = (
+                self.received_uploads.get(request.url, 0.0)
+                + request.body_bytes
+            )
+            return HttpResponse(status=200, body_bytes=100.0)
+        path = request.path
+        playlist = self._playlist_index.get(path)
+        if playlist is not None:
+            return HttpResponse(status=200, body=render_m3u8(playlist))
+        size = self._segment_index.get(path)
+        if size is not None:
+            return HttpResponse(status=200, body_bytes=size)
+        return HttpResponse(status=404, body_bytes=0.0)
+
+    def lookup_size(self, path: str) -> Optional[float]:
+        """Response size for a GET of ``path`` (None when unknown)."""
+        playlist = self._playlist_index.get(path)
+        if playlist is not None:
+            return float(len(render_m3u8(playlist).encode("utf-8")))
+        return self._segment_index.get(path)

@@ -1,0 +1,74 @@
+"""Multipart photo-upload modelling.
+
+The paper's uplink application mirrors Facebook/Flickr/Picasa native
+clients (§4.1): each photo is sent in its own multipart HTTP POST, and the
+stock clients upload sequentially, one file at a time — exactly the
+behaviour 3GOL parallelises across paths. §5.2 uploads a set of 30 photos
+with mean size 2.5 MB and standard deviation 0.74 MB (fitted from 200
+iPhone 4S/5 photos).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.web.messages import Headers, HttpRequest
+from repro.util.validate import check_positive
+
+#: Per-part framing overhead of a multipart/form-data body: boundary lines,
+#: Content-Disposition and Content-Type headers. A real browser emits
+#: roughly 150-250 bytes per part; we use a fixed representative value.
+MULTIPART_PART_OVERHEAD_BYTES = 200.0
+
+
+@dataclass(frozen=True)
+class Photo:
+    """One photo to upload."""
+
+    name: str
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("photo name must be non-empty")
+        check_positive("size_bytes", self.size_bytes)
+
+
+@dataclass(frozen=True)
+class MultipartUpload:
+    """A photo wrapped in a multipart/form-data POST."""
+
+    photo: Photo
+    boundary: str = "----3golBoundary"
+
+    @property
+    def body_bytes(self) -> float:
+        """Total POST body size: payload plus multipart framing."""
+        return self.photo.size_bytes + MULTIPART_PART_OVERHEAD_BYTES
+
+    def to_request(self, upload_url: str = "/upload") -> HttpRequest:
+        """Materialise the POST request."""
+        headers = Headers(
+            {
+                "Content-Type": f"multipart/form-data; boundary={self.boundary}",
+                "Content-Length": str(int(self.body_bytes)),
+            }
+        )
+        return HttpRequest(
+            method="POST",
+            url=f"{upload_url}?name={self.photo.name}",
+            headers=headers,
+            body_bytes=self.body_bytes,
+        )
+
+
+def photo_upload_requests(
+    photos: Sequence[Photo], upload_url: str = "/upload"
+) -> List[HttpRequest]:
+    """Build one multipart POST per photo (the native-client behaviour)."""
+    if not photos:
+        raise ValueError("need at least one photo")
+    return [
+        MultipartUpload(photo).to_request(upload_url) for photo in photos
+    ]

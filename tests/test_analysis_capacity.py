@@ -1,0 +1,51 @@
+"""§2.1 back-of-envelope calculation."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    CellAreaAssumptions,
+    compare_capacity,
+)
+from repro.util.units import mbps
+
+
+class TestPaperNumbers:
+    def test_subscribers_in_cell(self):
+        result = compare_capacity()
+        # Paper: "each cell offers services to 4375 subscribers".
+        assert result.subscribers_in_cell == pytest.approx(4398.2, rel=0.01)
+
+    def test_adsl_connections(self):
+        result = compare_capacity()
+        # Paper: "each cell covers 875 ADSL connections".
+        assert result.adsl_connections == pytest.approx(879.6, rel=0.01)
+
+    def test_aggregate_downlink_about_5_9_gbps(self):
+        result = compare_capacity()
+        # Paper: 5.863 Gbps.
+        assert result.adsl_aggregate_down_bps == pytest.approx(
+            5.893e9, rel=0.01
+        )
+
+    def test_one_to_two_orders_of_magnitude(self):
+        result = compare_capacity()
+        assert 1.0 <= result.down_orders_of_magnitude <= 2.5
+        assert result.down_ratio > 100.0
+
+    def test_uplink_gap_smaller(self):
+        result = compare_capacity()
+        assert result.up_ratio < result.down_ratio
+        assert result.up_ratio == pytest.approx(result.down_ratio * 0.1)
+
+
+class TestSensitivity:
+    def test_rural_area_smaller_gap(self):
+        rural = CellAreaAssumptions(population_per_km2=2000.0)
+        result = compare_capacity(rural)
+        assert result.down_ratio < compare_capacity().down_ratio
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellAreaAssumptions(adsl_penetration=1.2)
+        with pytest.raises(ValueError):
+            CellAreaAssumptions(cell_radius_m=0.0)

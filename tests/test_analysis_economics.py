@@ -1,0 +1,79 @@
+"""Cap economics: pricing the estimator's guard settings."""
+
+import pytest
+
+from repro.analysis.economics import (
+    GuardEconomics,
+    cheapest_guard,
+    price_guard_settings,
+)
+from repro.traces.mno import generate_mno_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_mno_dataset(n_users=600, months=12, seed=11)
+
+
+class TestPricing:
+    def test_larger_guard_cheaper_overage(self, dataset):
+        economics = price_guard_settings(dataset, alphas=(0.0, 2.0, 4.0))
+        by_alpha = {e.alpha: e for e in economics}
+        assert (
+            by_alpha[4.0].overage_cost_eur_per_month
+            < by_alpha[0.0].overage_cost_eur_per_month
+        )
+
+    def test_larger_guard_releases_less(self, dataset):
+        economics = price_guard_settings(dataset, alphas=(0.0, 4.0))
+        by_alpha = {e.alpha: e for e in economics}
+        assert (
+            by_alpha[4.0].released_gb_per_month
+            < by_alpha[0.0].released_gb_per_month
+        )
+
+    def test_effective_price_improves_with_guard(self, dataset):
+        # The point of the guard: a small loss in released volume buys a
+        # big drop in overage cost, so EUR per boost-GB falls.
+        economics = price_guard_settings(dataset, alphas=(0.0, 4.0))
+        by_alpha = {e.alpha: e for e in economics}
+        assert (
+            by_alpha[4.0].effective_eur_per_boost_gb
+            < by_alpha[0.0].effective_eur_per_boost_gb
+        )
+
+    def test_tariff_scales_cost_linearly(self, dataset):
+        cheap = price_guard_settings(
+            dataset, alphas=(2.0,), overage_eur_per_gb=5.0
+        )[0]
+        dear = price_guard_settings(
+            dataset, alphas=(2.0,), overage_eur_per_gb=10.0
+        )[0]
+        assert dear.overage_cost_eur_per_month == pytest.approx(
+            2.0 * cheap.overage_cost_eur_per_month
+        )
+        assert dear.overage_gb_per_month == pytest.approx(
+            cheap.overage_gb_per_month
+        )
+
+    def test_cheapest_guard_selection(self, dataset):
+        economics = price_guard_settings(dataset, alphas=(0.0, 2.0, 4.0, 6.0))
+        best = cheapest_guard(economics)
+        assert best.effective_eur_per_boost_gb == min(
+            e.effective_eur_per_boost_gb for e in economics
+        )
+
+    def test_zero_release_prices_as_infinite(self):
+        point = GuardEconomics(
+            alpha=9.0,
+            released_gb_per_month=0.0,
+            overage_gb_per_month=0.0,
+            overage_cost_eur_per_month=0.0,
+        )
+        assert point.effective_eur_per_boost_gb == float("inf")
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            price_guard_settings(dataset, alphas=(1.0,), overage_eur_per_gb=-1.0)
+        with pytest.raises(ValueError):
+            cheapest_guard([])

@@ -1,0 +1,138 @@
+"""§6 load analyses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.load import (
+    adoption_traffic_increase,
+    onloaded_load_series,
+    per_user_speedups,
+    split_transfer,
+)
+from repro.traces.dslam import generate_dslam_trace
+from repro.traces.mno import generate_mno_dataset
+from repro.util.units import MB, mbps
+
+
+class TestSplitTransfer:
+    def test_unconstrained_split_finishes_together(self):
+        duration, used = split_transfer(
+            10 * MB, adsl_bps=mbps(3), cellular_bps=mbps(3),
+            budget_bytes=math.inf,
+        )
+        assert used == pytest.approx(5 * MB)
+        assert duration == pytest.approx(10 * MB * 8 / mbps(6))
+
+    def test_budget_binds(self):
+        duration, used = split_transfer(
+            10 * MB, adsl_bps=mbps(3), cellular_bps=mbps(3),
+            budget_bytes=2 * MB,
+        )
+        assert used == 2 * MB
+        assert duration == pytest.approx(8 * MB * 8 / mbps(3))
+
+    def test_zero_budget_is_dsl_alone(self):
+        duration, used = split_transfer(
+            10 * MB, adsl_bps=mbps(4), cellular_bps=mbps(3), budget_bytes=0.0
+        )
+        assert used == 0.0
+        assert duration == pytest.approx(10 * MB * 8 / mbps(4))
+
+    def test_zero_cellular_rate(self):
+        duration, used = split_transfer(
+            10 * MB, adsl_bps=mbps(4), cellular_bps=0.0, budget_bytes=5 * MB
+        )
+        assert used == 0.0
+
+    def test_speedup_never_below_one(self):
+        base, _ = split_transfer(10 * MB, mbps(3), 0.0, 0.0)
+        boosted, _ = split_transfer(10 * MB, mbps(3), mbps(5), 4 * MB)
+        assert boosted <= base
+
+
+class TestPerUserSpeedups:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_dslam_trace(600, seed=2)
+
+    def test_speedups_at_least_one(self, trace):
+        for entry in per_user_speedups(trace):
+            assert entry.speedup >= 1.0 - 1e-9
+
+    def test_budget_respected(self, trace):
+        budget = 40 * MB
+        for entry in per_user_speedups(trace, daily_budget_bytes=budget):
+            assert entry.onloaded_bytes <= budget * (1 + 1e-9)
+
+    def test_zero_budget_means_no_speedup(self, trace):
+        for entry in per_user_speedups(trace, daily_budget_bytes=0.0):
+            assert entry.speedup == pytest.approx(1.0)
+
+    def test_bigger_budget_never_hurts(self, trace):
+        small = {
+            e.user_id: e.speedup
+            for e in per_user_speedups(trace, daily_budget_bytes=20 * MB)
+        }
+        large = {
+            e.user_id: e.speedup
+            for e in per_user_speedups(trace, daily_budget_bytes=80 * MB)
+        }
+        for user, value in small.items():
+            assert large[user] >= value - 1e-9
+
+
+class TestOnloadedLoad:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_dslam_trace(1500, seed=4)
+
+    def test_unbudgeted_exceeds_budgeted(self, trace):
+        series = onloaded_load_series(trace)
+        assert series.unbudgeted_peak_bps > series.budgeted_peak_bps
+
+    def test_budgeted_stays_under_backhaul(self, trace):
+        series = onloaded_load_series(trace)
+        assert series.budgeted_overload_fraction() == 0.0
+
+    def test_unbudgeted_overloads_at_peak(self, trace):
+        series = onloaded_load_series(trace)
+        assert series.unbudgeted_peak_bps > series.backhaul_bps
+
+    def test_mean_onload_near_paper_value(self, trace):
+        series = onloaded_load_series(trace)
+        total = float((series.budgeted_bps * series.bin_seconds / 8).sum())
+        mean_mb = total / len(trace.video_users) / 1e6
+        # Paper: 29.78 MB per user per day.
+        assert 24.0 < mean_mb < 36.0
+
+    def test_small_videos_not_boosted(self, trace):
+        lenient = onloaded_load_series(trace, min_boost_size=0.0)
+        strict = onloaded_load_series(trace, min_boost_size=100 * MB)
+        assert strict.unbudgeted_peak_bps < lenient.unbudgeted_peak_bps
+
+
+class TestAdoption:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_mno_dataset(1500, seed=5)
+
+    def test_increase_scales_with_adoption(self, dataset):
+        impacts = adoption_traffic_increase(dataset, [0.0, 0.5, 1.0])
+        totals = [i.total_increase for i in impacts]
+        assert totals[0] == 0.0
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_full_adoption_near_doubling(self, dataset):
+        impact = adoption_traffic_increase(dataset, [1.0])[0]
+        # Paper: "the increase in traffic is around 100%".
+        assert 0.7 < impact.total_increase < 1.4
+
+    def test_peak_increase_below_total(self, dataset):
+        impact = adoption_traffic_increase(dataset, [1.0])[0]
+        assert impact.peak_increase < impact.total_increase
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            adoption_traffic_increase(dataset, [1.5])

@@ -1,0 +1,110 @@
+"""The 3GOLa(t) allowance estimator (§6)."""
+
+import pytest
+
+from repro.core.allowance import (
+    AllowanceEstimator,
+    evaluate_estimator,
+)
+from repro.util.units import MB
+
+
+class TestAllowanceEstimator:
+    def test_constant_history_no_guard_needed(self):
+        estimator = AllowanceEstimator(tau=5, alpha=4.0)
+        decision = estimator.estimate(1000 * MB, [200 * MB] * 5)
+        # Free capacity is constant at 800 MB with zero deviation.
+        assert decision.monthly_allowance_bytes == pytest.approx(800 * MB)
+        assert decision.stdev_free_bytes == 0.0
+
+    def test_guard_discounts_variability(self):
+        estimator = AllowanceEstimator(tau=2, alpha=1.0)
+        decision = estimator.estimate(1000 * MB, [100 * MB, 500 * MB])
+        # Free: 900, 500 -> mean 700, sd ~282.8 -> allowance ~417.
+        assert decision.mean_free_bytes == pytest.approx(700 * MB)
+        assert decision.monthly_allowance_bytes == pytest.approx(
+            700 * MB - decision.stdev_free_bytes
+        )
+
+    def test_alpha_zero_is_plain_mean(self):
+        estimator = AllowanceEstimator(tau=3, alpha=0.0)
+        decision = estimator.estimate(
+            1000 * MB, [100 * MB, 300 * MB, 200 * MB]
+        )
+        assert decision.monthly_allowance_bytes == pytest.approx(800 * MB)
+
+    def test_allowance_never_negative(self):
+        estimator = AllowanceEstimator(tau=2, alpha=10.0)
+        decision = estimator.estimate(1000 * MB, [0.0, 990 * MB])
+        assert decision.monthly_allowance_bytes == 0.0
+
+    def test_over_cap_usage_clamps_free_at_zero(self):
+        estimator = AllowanceEstimator(tau=1, alpha=0.0)
+        decision = estimator.estimate(1000 * MB, [1500 * MB])
+        assert decision.mean_free_bytes == 0.0
+
+    def test_uses_only_last_tau_months(self):
+        estimator = AllowanceEstimator(tau=2, alpha=0.0)
+        decision = estimator.estimate(
+            1000 * MB, [999 * MB, 100 * MB, 100 * MB]
+        )
+        assert decision.mean_free_bytes == pytest.approx(900 * MB)
+
+    def test_daily_allowance(self):
+        estimator = AllowanceEstimator(tau=1, alpha=0.0)
+        decision = estimator.estimate(1000 * MB, [400 * MB])
+        assert decision.daily_allowance_bytes == pytest.approx(20 * MB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllowanceEstimator(tau=0)
+        with pytest.raises(ValueError):
+            AllowanceEstimator(alpha=-1.0)
+        with pytest.raises(ValueError):
+            AllowanceEstimator().estimate(100.0, [])
+
+
+class TestEvaluateEstimator:
+    def test_perfectly_stable_user_never_overruns(self):
+        caps = {"u": 1000 * MB}
+        usage = {"u": [200 * MB] * 12}
+        evaluation = evaluate_estimator(caps, usage, tau=5, alpha=4.0)
+        assert evaluation.overrun_days_per_month == 0.0
+        assert evaluation.overrun_month_fraction == 0.0
+        assert evaluation.utilization_of_free == pytest.approx(1.0)
+
+    def test_spiky_user_overruns_without_guard(self):
+        caps = {"u": 1000 * MB}
+        # Low usage for 5 months, then a spike to the cap.
+        usage = {"u": [100 * MB] * 5 + [1000 * MB]}
+        no_guard = evaluate_estimator(caps, usage, tau=5, alpha=0.0)
+        assert no_guard.overrun_month_fraction == 1.0
+        assert no_guard.overrun_days_per_month > 0.0
+
+    def test_guard_tradeoff_monotone(self):
+        # More guard -> less utilisation, fewer overruns (on any data).
+        caps = {"a": 1000 * MB, "b": 500 * MB}
+        usage = {
+            "a": [100 * MB, 300 * MB, 50 * MB, 600 * MB, 200 * MB,
+                  400 * MB, 100 * MB, 900 * MB],
+            "b": [400 * MB, 100 * MB, 250 * MB, 480 * MB, 50 * MB,
+                  300 * MB, 200 * MB, 100 * MB],
+        }
+        previous_util, previous_over = None, None
+        for alpha in (0.0, 2.0, 4.0):
+            ev = evaluate_estimator(caps, usage, tau=5, alpha=alpha)
+            if previous_util is not None:
+                assert ev.utilization_of_free <= previous_util + 1e-9
+                assert ev.overrun_days_per_month <= previous_over + 1e-9
+            previous_util = ev.utilization_of_free
+            previous_over = ev.overrun_days_per_month
+
+    def test_requires_enough_history(self):
+        with pytest.raises(ValueError, match="tau"):
+            evaluate_estimator({"u": 100.0}, {"u": [10.0] * 3}, tau=5)
+
+    def test_counts_user_months(self):
+        caps = {"u": 1000 * MB}
+        usage = {"u": [100 * MB] * 10}
+        ev = evaluate_estimator(caps, usage, tau=5, alpha=4.0)
+        assert ev.user_months == 5

@@ -1,0 +1,64 @@
+"""Device-side cap tracking."""
+
+import pytest
+
+from repro.core.captracker import CapTracker
+from repro.util.units import MB
+
+DAY = 86_400.0
+
+
+class TestCapTracker:
+    def test_advertises_until_budget_spent(self):
+        tracker = CapTracker(daily_budget_bytes=20 * MB)
+        assert tracker.may_advertise(0.0)
+        tracker.record_usage(15 * MB, 100.0)
+        assert tracker.may_advertise(200.0)
+        tracker.record_usage(5 * MB, 300.0)
+        assert not tracker.may_advertise(400.0)
+
+    def test_available_bytes(self):
+        tracker = CapTracker(daily_budget_bytes=20 * MB)
+        tracker.record_usage(12 * MB, 10.0)
+        assert tracker.available_bytes(20.0) == pytest.approx(8 * MB)
+
+    def test_daily_reset(self):
+        tracker = CapTracker(daily_budget_bytes=20 * MB)
+        tracker.record_usage(25 * MB, 100.0)
+        assert not tracker.may_advertise(200.0)
+        assert tracker.may_advertise(DAY + 1.0)
+        assert tracker.available_bytes(DAY + 1.0) == pytest.approx(20 * MB)
+
+    def test_overshoot_allowed_but_visible(self):
+        # An in-flight transfer may finish past the budget.
+        tracker = CapTracker(daily_budget_bytes=20 * MB)
+        tracker.record_usage(35 * MB, 50.0)
+        assert tracker.available_bytes(60.0) == 0.0
+        assert tracker.usage_by_day[0] == pytest.approx(35 * MB)
+
+    def test_usage_by_day_accumulates(self):
+        tracker = CapTracker(daily_budget_bytes=20 * MB)
+        tracker.record_usage(5 * MB, 10.0)
+        tracker.record_usage(5 * MB, DAY + 10.0)
+        tracker.record_usage(3 * MB, DAY + 20.0)
+        assert tracker.usage_by_day == {
+            0: pytest.approx(5 * MB),
+            1: pytest.approx(8 * MB),
+        }
+        assert tracker.total_used_bytes == pytest.approx(13 * MB)
+
+    def test_time_cannot_go_backwards(self):
+        tracker = CapTracker(daily_budget_bytes=20 * MB)
+        tracker.record_usage(1 * MB, DAY + 10.0)
+        with pytest.raises(ValueError):
+            tracker.record_usage(1 * MB, 10.0)
+
+    def test_zero_budget_never_advertises(self):
+        assert not CapTracker(daily_budget_bytes=0.0).may_advertise(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapTracker(daily_budget_bytes=-1.0)
+        tracker = CapTracker(daily_budget_bytes=1.0)
+        with pytest.raises(ValueError):
+            tracker.record_usage(-5.0, 0.0)

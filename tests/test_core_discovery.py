@@ -1,0 +1,50 @@
+"""Bonjour-like discovery registry."""
+
+import pytest
+
+from repro.core.discovery import DiscoveryRegistry
+
+
+class TestDiscoveryRegistry:
+    def test_announce_and_browse(self):
+        registry = DiscoveryRegistry()
+        registry.announce("phone-a", now=0.0)
+        registry.announce("phone-b", now=1.0)
+        names = [r.device_name for r in registry.browse(5.0)]
+        assert names == ["phone-a", "phone-b"]
+
+    def test_withdraw(self):
+        registry = DiscoveryRegistry()
+        registry.announce("phone-a", now=0.0)
+        assert registry.withdraw("phone-a")
+        assert registry.browse(1.0) == []
+        assert not registry.withdraw("phone-a")
+
+    def test_ttl_expiry(self):
+        registry = DiscoveryRegistry()
+        registry.announce("phone-a", now=0.0, ttl=120.0)
+        assert registry.lookup("phone-a", 119.9) is not None
+        assert registry.lookup("phone-a", 120.0) is None
+        assert registry.browse(121.0) == []
+
+    def test_refresh_extends_ttl(self):
+        registry = DiscoveryRegistry()
+        registry.announce("phone-a", now=0.0, ttl=120.0)
+        registry.announce("phone-a", now=100.0, ttl=120.0)
+        assert registry.lookup("phone-a", 200.0) is not None
+
+    def test_browse_prunes_expired(self):
+        registry = DiscoveryRegistry()
+        registry.announce("phone-a", now=0.0, ttl=10.0)
+        assert len(registry) == 1
+        registry.browse(100.0)
+        assert len(registry) == 0
+
+    def test_validation(self):
+        registry = DiscoveryRegistry()
+        with pytest.raises(ValueError):
+            registry.announce("", now=0.0)
+        with pytest.raises(ValueError):
+            registry.announce("x", now=0.0, port=0)
+        with pytest.raises(ValueError):
+            registry.announce("x", now=0.0, ttl=0.0)

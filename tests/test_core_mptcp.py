@@ -1,0 +1,87 @@
+"""Coupled-congestion MP-TCP model."""
+
+import math
+
+import pytest
+
+from repro.core.items import Transaction, TransferItem
+from repro.core.mptcp import (
+    CoupledMptcpLink,
+    DEFAULT_COUPLING_EFFICIENCY,
+    mptcp_transfer_time,
+)
+from repro.netsim.fluid import FluidNetwork
+from repro.netsim.latency import RttModel
+from repro.netsim.link import Link
+from repro.netsim.path import NetworkPath
+from repro.util.units import MB, mbps
+
+
+def make_paths(primary=mbps(2), secondary=mbps(4)):
+    return [
+        NetworkPath("adsl", [Link("adsl-l", primary)], rtt=RttModel(0.0)),
+        NetworkPath("phone", [Link("phone-l", secondary)], rtt=RttModel(0.0)),
+    ]
+
+
+class TestCoupledMptcpLink:
+    def test_aggregate_is_primary_plus_coupled_residue(self):
+        link = CoupledMptcpLink(make_paths(), coupling_efficiency=0.05)
+        assert link.capacity_at(0.0) == pytest.approx(
+            mbps(2) + 0.05 * mbps(4)
+        )
+
+    def test_uncoupled_is_full_sum(self):
+        link = CoupledMptcpLink(make_paths(), coupling_efficiency=1.0)
+        assert link.capacity_at(0.0) == pytest.approx(mbps(6))
+
+    def test_single_path_degenerates_to_it(self):
+        link = CoupledMptcpLink(make_paths()[:1])
+        assert link.capacity_at(0.0) == mbps(2)
+
+    def test_next_change_tracks_constituents(self):
+        link = CoupledMptcpLink(make_paths())
+        assert link.next_change_after(0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoupledMptcpLink([])
+        with pytest.raises(ValueError):
+            CoupledMptcpLink(make_paths(), coupling_efficiency=1.5)
+
+
+class TestMptcpTransferTime:
+    def test_coupled_near_primary_rate(self):
+        network = FluidNetwork()
+        txn = Transaction([TransferItem("a", 2 * MB)])
+        elapsed = mptcp_transfer_time(
+            network, make_paths(), txn,
+            coupling_efficiency=DEFAULT_COUPLING_EFFICIENCY,
+        )
+        primary_only = 2 * MB * 8 / mbps(2)
+        assert primary_only * 0.85 < elapsed <= primary_only
+
+    def test_uncoupled_much_faster(self):
+        coupled = mptcp_transfer_time(
+            FluidNetwork(),
+            make_paths(),
+            Transaction([TransferItem("a", 2 * MB)]),
+            coupling_efficiency=0.05,
+        )
+        uncoupled = mptcp_transfer_time(
+            FluidNetwork(),
+            make_paths(),
+            Transaction([TransferItem("b", 2 * MB)]),
+            coupling_efficiency=1.0,
+        )
+        assert uncoupled < coupled / 2
+
+    def test_sequential_items(self):
+        network = FluidNetwork()
+        txn = Transaction(
+            [TransferItem("a", 1 * MB), TransferItem("b", 1 * MB)]
+        )
+        elapsed = mptcp_transfer_time(
+            network, make_paths(), txn, coupling_efficiency=1.0
+        )
+        assert elapsed == pytest.approx(2 * MB * 8 / mbps(6), rel=0.01)

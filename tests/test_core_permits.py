@@ -1,0 +1,70 @@
+"""Network-integrated permit backend."""
+
+import pytest
+
+from repro.core.permits import PermitServer
+
+
+def utilization_table(table):
+    return lambda cell, now: table[cell]
+
+
+class TestPermitServer:
+    def test_grants_under_threshold(self):
+        server = PermitServer(
+            utilization_table({"cell": 0.3}), acceptance_threshold=0.7
+        )
+        permit = server.request_permit("ph", "cell", 0.0)
+        assert permit is not None
+        assert permit.is_valid(10.0)
+        assert server.granted_count == 1
+
+    def test_denies_over_threshold(self):
+        server = PermitServer(
+            utilization_table({"cell": 0.9}), acceptance_threshold=0.7
+        )
+        assert server.request_permit("ph", "cell", 0.0) is None
+        assert server.denied_count == 1
+
+    def test_threshold_boundary_denies(self):
+        server = PermitServer(
+            utilization_table({"cell": 0.7}), acceptance_threshold=0.7
+        )
+        assert server.request_permit("ph", "cell", 0.0) is None
+
+    def test_permit_cached_while_valid(self):
+        table = {"cell": 0.3}
+        server = PermitServer(utilization_table(table), permit_ttl=300.0)
+        first = server.request_permit("ph", "cell", 0.0)
+        table["cell"] = 0.99  # congestion arrives
+        # Cached permit still returned before expiry.
+        assert server.request_permit("ph", "cell", 100.0) is first
+        # After expiry the new utilisation is consulted -> denial.
+        assert server.request_permit("ph", "cell", 301.0) is None
+
+    def test_permit_expires(self):
+        server = PermitServer(utilization_table({"cell": 0.1}), permit_ttl=60.0)
+        permit = server.request_permit("ph", "cell", 0.0)
+        assert permit.is_valid(59.9)
+        assert not permit.is_valid(60.0)
+
+    def test_revocation(self):
+        server = PermitServer(utilization_table({"cell": 0.1}))
+        server.request_permit("ph", "cell", 0.0)
+        assert server.has_valid_permit("ph", 1.0)
+        assert server.revoke("ph")
+        assert not server.has_valid_permit("ph", 1.0)
+        assert server.revoked_count == 1
+        # Revoking again is a no-op.
+        assert not server.revoke("ph")
+
+    def test_revoke_cell(self):
+        server = PermitServer(utilization_table({"cell": 0.1}))
+        for name in ("a", "b", "c"):
+            server.request_permit(name, "cell", 0.0)
+        assert server.revoke_cell(["a", "b", "zz"]) == 2
+
+    def test_invalid_utilization_rejected(self):
+        server = PermitServer(lambda cell, now: 1.5)
+        with pytest.raises(ValueError):
+            server.request_permit("ph", "cell", 0.0)

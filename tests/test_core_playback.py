@@ -1,0 +1,69 @@
+"""Playout simulation (stall accounting)."""
+
+import pytest
+
+from repro.core.playback import PlayoutSimulator, StallEvent
+from repro.web.hls import VideoAsset, VideoQuality
+from repro.util.units import kbps
+
+
+@pytest.fixture
+def playlist():
+    video = VideoAsset(
+        "v", duration_s=40.0, segment_s=10.0,
+        qualities=(VideoQuality("Q", kbps(500.0)),),
+    )
+    return video.playlists["Q"]
+
+
+def times(playlist, values):
+    return {s.uri: t for s, t in zip(playlist.segments, values)}
+
+
+class TestPlayoutSimulator:
+    def test_smooth_when_downloads_ahead(self, playlist):
+        # Segments land at 2/4/6/8 s; prebuffer (1 segment) full at 2 s;
+        # playhead needs seg1 at 12 s (arrives 4), seg2 at 22 (6), ...
+        report = PlayoutSimulator(playlist, 0.25).replay(
+            times(playlist, [2.0, 4.0, 6.0, 8.0])
+        )
+        assert report.smooth
+        assert report.startup_delay == 2.0
+        assert report.stall_count == 0
+        assert report.playout_end == pytest.approx(42.0)
+
+    def test_stall_detected_and_measured(self, playlist):
+        # seg1 arrives at 20 s but is needed at 12 s -> 8 s stall.
+        report = PlayoutSimulator(playlist, 0.25).replay(
+            times(playlist, [2.0, 20.0, 21.0, 22.0])
+        )
+        assert report.stall_count == 1
+        stall = report.stalls[0]
+        assert stall.segment_index == 1
+        assert stall.duration == pytest.approx(8.0)
+        assert report.total_stall_time == pytest.approx(8.0)
+        # Stalling shifts the end of playout.
+        assert report.playout_end == pytest.approx(50.0)
+
+    def test_prebuffer_fraction_changes_startup(self, playlist):
+        completion = times(playlist, [2.0, 4.0, 6.0, 8.0])
+        small = PlayoutSimulator(playlist, 0.25).replay(completion)
+        large = PlayoutSimulator(playlist, 1.0).replay(completion)
+        assert small.startup_delay == 2.0
+        assert large.startup_delay == 8.0
+        assert large.smooth
+
+    def test_consecutive_stalls(self, playlist):
+        report = PlayoutSimulator(playlist, 0.25).replay(
+            times(playlist, [2.0, 20.0, 40.0, 60.0])
+        )
+        assert report.stall_count == 3
+        assert report.total_stall_time > 20.0
+
+    def test_missing_segment_rejected(self, playlist):
+        with pytest.raises(KeyError):
+            PlayoutSimulator(playlist, 0.25).replay({})
+
+    def test_fraction_validated(self, playlist):
+        with pytest.raises(ValueError):
+            PlayoutSimulator(playlist, 0.0)

@@ -1,0 +1,79 @@
+"""HLS-aware client proxy."""
+
+import pytest
+
+from repro.core.proxy import HlsAwareProxy, segments_to_items
+from repro.netsim.fluid import FluidNetwork
+from repro.netsim.latency import RttModel
+from repro.netsim.link import Link
+from repro.netsim.path import NetworkPath
+from repro.web.hls import make_bipbop_video
+from repro.web.origin import OriginServer
+from repro.util.units import mbps
+
+
+@pytest.fixture
+def setup():
+    net = FluidNetwork()
+    origin = OriginServer()
+    video = make_bipbop_video()
+    origin.host_video(video)
+    wired = NetworkPath("wired", [Link("adsl", mbps(2))], rtt=RttModel(0.0))
+    fast = NetworkPath("fast", [Link("cell", mbps(4))], rtt=RttModel(0.0))
+    return net, origin, video, wired, fast
+
+
+class TestSegmentsToItems:
+    def test_order_and_metadata(self):
+        playlist = make_bipbop_video().playlist("Q2")
+        items = segments_to_items(playlist)
+        assert [i.metadata["index"] for i in items] == list(range(20))
+        assert items[0].size_bytes == playlist.segments[0].size_bytes
+
+
+class TestHlsAwareProxy:
+    def test_playlist_fetched_over_wired_path(self, setup):
+        net, origin, video, wired, fast = setup
+        proxy = HlsAwareProxy(net, origin, wired)
+        playlist, elapsed = proxy.fetch_playlist("/bipbop/Q1/index.m3u8")
+        assert len(playlist.segments) == 20
+        assert elapsed > 0.0
+
+    def test_unknown_playlist_raises(self, setup):
+        net, origin, video, wired, fast = setup
+        proxy = HlsAwareProxy(net, origin, wired)
+        with pytest.raises(LookupError):
+            proxy.fetch_playlist("/other/master.m3u8")
+
+    def test_download_report(self, setup):
+        net, origin, video, wired, fast = setup
+        proxy = HlsAwareProxy(net, origin, wired)
+        report = proxy.download(
+            "/bipbop/Q1/index.m3u8", [wired, fast],
+            prebuffer_fraction=0.2,
+        )
+        assert report.total_time > report.prebuffer_time > 0.0
+        assert report.quality == "Q1"
+        assert len(report.result.records) == 20
+
+    def test_multipath_faster_than_wired_alone(self, setup):
+        net, origin, video, wired, fast = setup
+        proxy = HlsAwareProxy(net, origin, wired)
+        assisted = proxy.download(
+            "/bipbop/Q3/index.m3u8", [wired, fast], prebuffer_fraction=None
+        )
+        net2 = FluidNetwork()
+        wired2 = NetworkPath("w2", [Link("adsl2", mbps(2))], rtt=RttModel(0.0))
+        proxy2 = HlsAwareProxy(net2, origin, wired2)
+        alone = proxy2.download(
+            "/bipbop/Q3/index.m3u8", [wired2], prebuffer_fraction=None
+        )
+        assert assisted.total_time < alone.total_time
+
+    def test_prebuffer_none_skips_measurement(self, setup):
+        net, origin, video, wired, fast = setup
+        proxy = HlsAwareProxy(net, origin, wired)
+        report = proxy.download(
+            "/bipbop/Q1/index.m3u8", [wired], prebuffer_fraction=None
+        )
+        assert report.prebuffer_time is None

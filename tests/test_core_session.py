@@ -1,0 +1,102 @@
+"""The OnloadSession facade end-to-end."""
+
+import pytest
+
+from repro.core.mobile import OperatingMode
+from repro.core.permits import PermitServer
+from repro.core.session import OnloadSession
+from repro.netsim.topology import HouseholdConfig
+from repro.util.units import MB, mbps
+from repro.web.upload import Photo
+
+
+def make_session(quiet_location, budget=1000 * MB, n_phones=2, seed=1):
+    return OnloadSession.for_location(
+        quiet_location, n_phones=n_phones, seed=seed,
+        daily_budget_bytes=budget,
+    )
+
+
+class TestDiscoveryIntegration:
+    def test_phones_advertised_initially(self, quiet_location):
+        session = make_session(quiet_location)
+        assert len(session.admissible_phones()) == 2
+
+    def test_paths_include_gateway_plus_phones(self, quiet_location):
+        from repro.core.items import Direction
+        session = make_session(quiet_location)
+        paths = session.paths_for(Direction.DOWNLOAD)
+        assert len(paths) == 3
+        assert not paths[0].is_cellular
+
+    def test_max_phones_limits(self, quiet_location):
+        from repro.core.items import Direction
+        session = make_session(quiet_location)
+        assert len(session.paths_for(Direction.DOWNLOAD, max_phones=1)) == 2
+
+    def test_exhausted_phone_drops_out(self, quiet_location):
+        session = make_session(quiet_location, budget=1 * MB)
+        photos = [Photo(f"{i}.jpg", 2 * MB) for i in range(6)]
+        session.upload_photos(photos)
+        # Both phones blew their 1 MB budget during that transaction.
+        assert session.admissible_phones() == []
+
+    def test_cap_metering_records_cellular_bytes(self, quiet_location):
+        session = make_session(quiet_location)
+        photos = [Photo(f"{i}.jpg", 2 * MB) for i in range(6)]
+        session.upload_photos(photos)
+        used = sum(
+            c.cap_tracker.total_used_bytes
+            for c in session.mobile_components.values()
+        )
+        assert used > 0.0
+
+
+class TestVideoDownload:
+    def test_3gol_beats_baseline(self, quiet_location):
+        assisted = make_session(quiet_location).also = None
+        a = make_session(quiet_location)
+        a.host_bipbop()
+        with_3gol = a.download_video("bipbop", "Q3")
+        b = make_session(quiet_location)
+        b.host_bipbop()
+        without = b.download_video("bipbop", "Q3", use_3gol=False)
+        assert with_3gol.total_time < without.total_time
+
+    def test_prebuffer_faster_than_total(self, quiet_location):
+        session = make_session(quiet_location)
+        session.host_bipbop()
+        report = session.download_video(
+            "bipbop", "Q2", prebuffer_fraction=0.2
+        )
+        assert 0.0 < report.prebuffer_time < report.total_time
+
+    def test_policy_selectable(self, quiet_location):
+        session = make_session(quiet_location)
+        session.host_bipbop()
+        report = session.download_video("bipbop", "Q1", policy_name="RR")
+        assert report.result.policy_name == "RR"
+
+    def test_baseline_download_time(self, quiet_location):
+        session = make_session(quiet_location)
+        session.host_bipbop()
+        # Q1 = 5 MB over a 4 Mbps line: at least 10 s.
+        assert session.baseline_download_time("bipbop", "Q1") >= 10.0
+
+
+class TestNetworkIntegratedSession:
+    def test_permits_gate_admission(self, quiet_location):
+        utilization = [0.2]
+        server = PermitServer(lambda cell, now: utilization[0])
+        session = OnloadSession.for_location(
+            quiet_location,
+            n_phones=2,
+            mode=OperatingMode.NETWORK_INTEGRATED,
+            permit_server=server,
+        )
+        assert len(session.admissible_phones()) == 2
+        utilization[0] = 0.95
+        # Permits are cached a few minutes; jump past expiry.
+        session.network.schedule(400.0, lambda: None)
+        session.network.run()
+        assert session.admissible_phones() == []

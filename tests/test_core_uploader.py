@@ -1,0 +1,51 @@
+"""Multipart uploader."""
+
+import pytest
+
+from repro.core.uploader import MultipartUploader, photos_to_items
+from repro.netsim.fluid import FluidNetwork
+from repro.netsim.latency import RttModel
+from repro.netsim.link import Link
+from repro.netsim.path import NetworkPath
+from repro.web.upload import MULTIPART_PART_OVERHEAD_BYTES, Photo
+from repro.util.units import MB, mbps
+
+
+class TestPhotosToItems:
+    def test_framing_included(self):
+        items = photos_to_items([Photo("a.jpg", 1 * MB)])
+        assert items[0].size_bytes == 1 * MB + MULTIPART_PART_OVERHEAD_BYTES
+        assert items[0].metadata["photo_bytes"] == 1 * MB
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            photos_to_items([])
+
+
+class TestMultipartUploader:
+    def make_paths(self, *rates):
+        return [
+            NetworkPath(f"p{i}", [Link(f"l{i}", rate)], rtt=RttModel(0.0))
+            for i, rate in enumerate(rates)
+        ]
+
+    def test_upload_report(self):
+        net = FluidNetwork()
+        uploader = MultipartUploader(net)
+        photos = [Photo(f"{i}.jpg", 1 * MB) for i in range(4)]
+        report = uploader.upload(photos, self.make_paths(mbps(8)))
+        assert report.photo_count == 4
+        assert report.payload_bytes == 4 * MB
+        assert report.total_time == pytest.approx(4.0, rel=0.01)
+
+    def test_two_paths_speed_up(self):
+        photos = [Photo(f"{i}.jpg", 1 * MB) for i in range(6)]
+        net1 = FluidNetwork()
+        single = MultipartUploader(net1).upload(
+            photos, self.make_paths(mbps(4))
+        )
+        net2 = FluidNetwork()
+        double = MultipartUploader(net2).upload(
+            photos, self.make_paths(mbps(4), mbps(4))
+        )
+        assert double.total_time < single.total_time * 0.7

@@ -1,0 +1,170 @@
+"""Extension experiments (LTE, MP-TCP, playout, DSLAM, ablations)."""
+
+import pytest
+
+from repro.experiments import (
+    ext_dslam,
+    ext_duplication,
+    ext_estimator,
+    ext_lte,
+    ext_mptcp,
+    ext_playout,
+)
+
+
+class TestLteExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_lte.run(seeds=(0, 1))
+
+    def test_lte_faster_than_hspa(self, result):
+        assert (
+            result.cells["3GOL over LTE"].total_time_s
+            < result.cells["3GOL over HSPA"].total_time_s
+        )
+
+    def test_lte_powerboost_window_shorter(self, result):
+        # §2.3: "the period of powerboosting time might be extremely short".
+        assert (
+            result.cells["3GOL over LTE"].cell_busy_s
+            < result.cells["3GOL over HSPA"].cell_busy_s * 0.7
+        )
+
+    def test_both_beat_adsl(self, result):
+        assert result.speedup("3GOL over HSPA") > 1.2
+        assert result.speedup("3GOL over LTE") > 2.0
+
+
+class TestMptcpExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_mptcp.run(seeds=(0, 1, 2))
+
+    def test_ccc_provides_little_benefit(self, result):
+        # The paper's observation: "it provided no benefit".
+        assert result.benefit_over_adsl("MPTCP-CCC") < 0.2
+
+    def test_3gol_provides_large_benefit(self, result):
+        assert result.benefit_over_adsl("3GOL-GRD") > 0.5
+
+    def test_uncoupled_comparable_to_3gol(self, result):
+        gap = abs(
+            result.times["MPTCP-uncoupled"] - result.times["3GOL-GRD"]
+        )
+        assert gap < 0.3 * result.times["3GOL-GRD"]
+
+
+class TestPlayoutExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_playout.run(seeds=tuple(range(4)))
+
+    def test_adsl_alone_stalls(self, result):
+        adsl = result.cells["ADSL"]
+        assert adsl.stall_count > 3
+        assert adsl.smooth_fraction < 0.5
+
+    def test_3gol_streams_smoothly(self, result):
+        for config in ("GRD", "DLN"):
+            assert result.cells[config].stall_time_s < 5.0
+
+    def test_deadline_policy_never_worse(self, result):
+        assert (
+            result.cells["DLN"].stall_time_s
+            <= result.cells["GRD"].stall_time_s + 2.0
+        )
+
+    def test_startup_improves_with_3gol(self, result):
+        assert (
+            result.cells["GRD"].startup_delay_s
+            < result.cells["ADSL"].startup_delay_s
+        )
+
+
+class TestDslamExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_dslam.run(neighbour_counts=(0, 8), seeds=(0, 1))
+
+    def test_contention_slows_adsl(self, result):
+        assert (
+            result.cells[8].adsl_alone_s > result.cells[0].adsl_alone_s * 1.5
+        )
+
+    def test_3gol_robust_to_contention(self, result):
+        assert result.cells[8].onload_s < result.cells[8].adsl_alone_s / 2
+
+    def test_speedup_grows(self, result):
+        assert result.speedup_grows_with_contention()
+
+
+class TestEstimatorAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_estimator.run(n_users=600)
+
+    def test_paper_choice_on_frontier(self, result):
+        assert result.paper_choice_on_frontier()
+
+    def test_last_month_overruns_more(self, result):
+        assert (
+            result.last_month.overrun_days_per_month
+            > result.paper_point.overrun_days_per_month
+        )
+
+    def test_alpha_reduces_overruns_at_all_taus(self, result):
+        for tau in result.taus:
+            no_guard = result.grid[(tau, 0.0)]
+            guarded = result.grid[(tau, 4.0)]
+            assert (
+                guarded.overrun_days_per_month
+                < no_guard.overrun_days_per_month
+            )
+
+
+class TestDuplicationAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_duplication.run(seeds=(0, 1))
+
+    def test_duplication_rescues_degrading_path(self, result):
+        cell = result.cells["degrading path"]
+        assert cell.rescue_benefit > 0.5
+
+    def test_duplication_cheap_on_steady_paths(self, result):
+        cell = result.cells["steady paths"]
+        assert abs(cell.rescue_benefit) < 0.15
+        assert cell.waste_with_mb < 2.0
+
+
+class TestNeighborhoodExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_neighborhood
+
+        return ext_neighborhood.run(active_counts=(1, 4), seeds=(0, 1))
+
+    def test_benefit_erodes_with_adoption(self, result):
+        assert result.speedup_erodes()
+
+    def test_still_beneficial_when_crowded(self, result):
+        assert result.still_beneficial_at_max()
+
+    def test_lone_adopter_near_solo_household(self, result):
+        assert result.points[0].speedup > 1.8
+
+
+class TestMinTuningAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_min_tuning
+
+        return ext_min_tuning.run(
+            smoothings=(0.5, 0.75), priors_mbps=(1.0, 2.0), repetitions=4
+        )
+
+    def test_no_tuning_beats_grd(self, result):
+        assert result.no_setting_beats_grd()
+
+    def test_grid_complete(self, result):
+        assert len(result.times) == 4

@@ -1,0 +1,161 @@
+"""Cross-module integration scenarios.
+
+Each test exercises a realistic end-to-end slice of the system the way
+the unit suites cannot: several components interacting over simulated
+hours, with the paper's semantics holding at the seams.
+"""
+
+import pytest
+
+from repro.core.captracker import CapTracker
+from repro.core.items import Direction
+from repro.core.mobile import OperatingMode
+from repro.core.permits import PermitServer
+from repro.core.playback import PlayoutSimulator
+from repro.core.session import OnloadSession
+from repro.netsim.diurnal import MOBILE_PROFILE
+from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
+from repro.traces.pictures import generate_photo_set
+from repro.util.units import MB, mbps
+
+
+@pytest.fixture
+def location():
+    return LocationProfile(
+        name="integration",
+        description="integration testbed",
+        adsl_down_bps=mbps(4.0),
+        adsl_up_bps=mbps(0.5),
+        signal_dbm=-83.0,
+        peak_utilization=0.4,
+        measurement_hour=10.0,
+    )
+
+
+class TestBudgetDayCycle:
+    def test_quota_drains_then_resets_at_midnight(self, location):
+        """A household exhausts its budget, then gets it back next day."""
+        session = OnloadSession.for_location(
+            location, n_phones=2, seed=1, daily_budget_bytes=15 * MB
+        )
+        session.host_bipbop()
+        # Burn the budget with videos.
+        for _ in range(4):
+            if not session.admissible_phones():
+                break
+            session.download_video("bipbop", "Q4", prebuffer_fraction=None)
+        assert session.admissible_phones() == []
+        # Midnight passes; quota resets and phones re-advertise.
+        session.network.advance_to(24 * 3600.0 + 60.0)
+        assert len(session.admissible_phones()) == 2
+        report = session.download_video(
+            "bipbop", "Q2", prebuffer_fraction=None
+        )
+        assert report.result.cellular_bytes(
+            session.paths_for(Direction.DOWNLOAD)
+        ) >= 0.0
+
+
+class TestPermitLifecycleOverADay:
+    def test_evening_congestion_blocks_then_releases(self, location):
+        """Network-integrated 3GOL follows the diurnal congestion."""
+        server = PermitServer(
+            lambda cell, now: 0.9 * MOBILE_PROFILE.value_at(now),
+            acceptance_threshold=0.70,
+            permit_ttl=120.0,
+        )
+        session = OnloadSession.for_location(
+            location,
+            n_phones=2,
+            seed=2,
+            mode=OperatingMode.NETWORK_INTEGRATED,
+            permit_server=server,
+        )
+        session.host_bipbop()
+        # 10 a.m.: moderate load -> permitted.
+        assert len(session.admissible_phones()) == 2
+        # Evening peak (~18h): denied.
+        session.network.advance_to(18 * 3600.0)
+        assert session.admissible_phones() == []
+        # Deep night (4 a.m. next day): permitted again.
+        session.network.advance_to(28 * 3600.0)
+        assert len(session.admissible_phones()) == 2
+
+
+class TestDownloadThenUploadSharedQuota:
+    def test_video_spends_quota_the_upload_then_lacks(self, location):
+        """The §5 applications share the §6 budget, in order."""
+        session = OnloadSession.for_location(
+            location, n_phones=1, seed=3, daily_budget_bytes=5 * MB
+        )
+        session.host_bipbop()
+        video = session.download_video("bipbop", "Q4", prebuffer_fraction=None)
+        spent = sum(
+            c.cap_tracker.total_used_bytes
+            for c in session.mobile_components.values()
+        )
+        assert spent > 0.0
+        # Quota gone -> the evening upload runs unassisted.
+        assert session.admissible_phones() == []
+        photos = generate_photo_set(count=5, seed=3)
+        upload = session.upload_photos(photos)
+        assert upload.result.cellular_bytes(
+            session.paths_for(Direction.UPLOAD)
+        ) == 0.0
+
+
+class TestPlayoutOverSession:
+    def test_full_pipeline_video_plays_smoothly(self, location):
+        """Proxy download -> playout replay, through the public API."""
+        session = OnloadSession.for_location(location, n_phones=2, seed=4)
+        video = session.host_bipbop()
+        playlist = video.playlist("Q3")
+        report = session.download_video(
+            "bipbop", "Q3", prebuffer_fraction=0.2
+        )
+        completion = {
+            label: record.completed_at - report.result.started_at
+            for label, record in report.result.records.items()
+        }
+        playout = PlayoutSimulator(playlist, 0.2).replay(completion)
+        assert playout.smooth
+        assert playout.startup_delay <= report.prebuffer_time + 1.0
+
+
+class TestRadioStateAcrossTransactions:
+    def test_back_to_back_transactions_skip_acquisition(self, location):
+        """The second transaction starts from a warm radio (H-like)."""
+        household = Household(location, HouseholdConfig(n_phones=1, seed=5))
+        phone = household.phones[0]
+        path = household.phone_down_path(phone)
+        first = path.start_delay(household.network.time)
+        path.notify_activity(household.network.time + first + 1.0)
+        second = path.start_delay(
+            household.network.time + first + 2.0, fresh_connection=False
+        )
+        assert second < first - 1.5  # the 2 s promotion is gone
+
+    def test_idle_gap_pays_acquisition_again(self, location):
+        household = Household(location, HouseholdConfig(n_phones=1, seed=5))
+        phone = household.phones[0]
+        path = household.phone_down_path(phone)
+        path.start_delay(household.network.time)
+        late = household.network.time + 600.0  # 10 minutes idle
+        delay = path.start_delay(late, fresh_connection=False)
+        assert delay > 1.5
+
+
+class TestCapTrackerMeetsDiscoveryTtl:
+    def test_stale_advertisement_expires_without_refresh(self, location):
+        """mDNS records age out when the phone stops refreshing."""
+        session = OnloadSession.for_location(
+            location, n_phones=1, seed=6, daily_budget_bytes=100 * MB
+        )
+        record = session.registry.browse(session.network.time)
+        assert len(record) == 1
+        # Without refresh() calls, the TTL (120 s) lapses.
+        expired_at = session.network.time + 200.0
+        assert session.registry.browse(expired_at) == []
+        # admissible_phones() refreshes, bringing it back.
+        session.network.advance_to(expired_at)
+        assert len(session.admissible_phones()) == 1

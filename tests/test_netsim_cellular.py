@@ -1,0 +1,152 @@
+"""HSPA cellular model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.cellular import (
+    BaseStation,
+    CellularDevice,
+    HspaParameters,
+    build_station_cluster,
+    dbm_to_asu,
+    quality_from_dbm,
+)
+from repro.netsim.fluid import Flow, FluidNetwork
+from repro.util.units import MB, kbps, mbps
+
+
+class TestQualityMapping:
+    def test_monotone_in_signal(self):
+        assert quality_from_dbm(-75) > quality_from_dbm(-90) > quality_from_dbm(-105)
+
+    def test_clipped_to_range(self):
+        assert quality_from_dbm(-40) == 1.0
+        assert quality_from_dbm(-120) == 0.35
+
+    def test_table4_values_span_meaningful_range(self):
+        # loc1 (-81) should be clearly better than loc3 (-97).
+        assert quality_from_dbm(-81) / quality_from_dbm(-97) > 1.5
+
+    def test_asu_conversion(self):
+        assert dbm_to_asu(-113) == 0
+        assert dbm_to_asu(-81) == 16
+        assert dbm_to_asu(-89) == 12
+
+
+class TestHspaParameters:
+    def test_defaults_match_paper_constants(self):
+        params = HspaParameters()
+        assert params.hsupa_cell_bps == mbps(5.76)
+        assert params.dedicated_down_bps == kbps(360)
+        assert params.dedicated_up_bps == kbps(64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HspaParameters(hsdpa_cell_bps=0.0)
+
+
+class TestBaseStation:
+    def test_sector_count(self):
+        station = BaseStation("bs", n_sectors=2, seed=1)
+        assert len(station.sectors) == 2
+
+    def test_invalid_sector_count(self):
+        with pytest.raises(ValueError):
+            BaseStation("bs", n_sectors=0)
+
+    def test_deterministic_sector_links(self):
+        a = BaseStation("bs", seed=5).sectors[0].downlink.capacity_at(100.0)
+        b = BaseStation("bs", seed=5).sectors[0].downlink.capacity_at(100.0)
+        assert a == b
+
+    def test_diurnal_modulation_present(self):
+        station = BaseStation("bs", peak_utilization=0.8, seed=1)
+        link = station.sectors[0].downlink
+        # Free capacity at the mobile peak must be lower than at 4 am.
+        peak = np.mean([link.capacity_at(18 * 3600.0 + i) for i in range(0, 600, 60)])
+        trough = np.mean([link.capacity_at(4 * 3600.0 + i) for i in range(0, 600, 60)])
+        assert trough > peak
+
+
+class TestCellularDevice:
+    def test_chains_traverse_sector_and_backhaul(self):
+        station = BaseStation("bs", seed=1)
+        device = CellularDevice("ph", station, signal_dbm=-85.0)
+        down = device.downlink_chain()
+        assert device.access_down in down
+        assert device.sector.downlink in down
+        assert station.backhaul_down in down
+
+    def test_quality_scales_access_rate(self):
+        station = BaseStation("bs", seed=1)
+        good = CellularDevice("g", station, signal_dbm=-75.0, seed=3)
+        bad = CellularDevice("b", station, signal_dbm=-103.0, seed=3)
+        assert good.access_down.base_bps > bad.access_down.base_bps
+
+    def test_acquire_channel_delegates_to_radio(self):
+        station = BaseStation("bs", seed=1)
+        device = CellularDevice("ph", station)
+        assert device.acquire_channel(0.0) == pytest.approx(2.0)
+        assert device.acquire_channel(2.5) == 0.0
+
+    def test_single_device_throughput_in_paper_range(self):
+        # Fig. 4 / Table 3: one device sees roughly 1-2.7 Mbps downlink.
+        station = BaseStation("bs", peak_utilization=0.4, seed=2)
+        rates = []
+        for seed in range(8):
+            device = CellularDevice("ph", station, signal_dbm=-82.0, seed=seed)
+            net = FluidNetwork(start_time=2 * 3600.0)
+            done = []
+            net.add_flow(
+                Flow(2 * MB, device.downlink_chain(),
+                     on_complete=lambda f, t: done.append(t))
+            )
+            net.run()
+            rates.append(2 * MB * 8.0 / (done[0] - 2 * 3600.0))
+        mean = np.mean(rates)
+        assert mbps(0.8) < mean < mbps(2.9)
+
+
+class TestStationCluster:
+    def test_cluster_size_and_sector_cycle(self):
+        stations = build_station_cluster(3, sectors_per_station=(1, 2))
+        assert len(stations) == 3
+        assert [len(s.sectors) for s in stations] == [1, 2, 1]
+
+    def test_unique_names(self):
+        stations = build_station_cluster(4)
+        names = {s.name for s in stations}
+        assert len(names) == 4
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            build_station_cluster(0)
+
+
+class TestSharedChannelContention:
+    def test_uplink_plateaus_at_hsupa_cap(self):
+        """Many devices on one sector cannot exceed the HSUPA channel."""
+        params = HspaParameters()
+        station = BaseStation("bs", params=params, peak_utilization=0.2, seed=3)
+        sector = station.sectors[0]
+        devices = [
+            CellularDevice(f"ph{i}", station, sector=sector,
+                           signal_dbm=-80.0, seed=i)
+            for i in range(8)
+        ]
+        net = FluidNetwork(start_time=2 * 3600.0)
+        done = {}
+        for device in devices:
+            net.add_flow(
+                Flow(
+                    2 * MB, device.uplink_chain(),
+                    on_complete=lambda f, t, n=device.name: done.setdefault(n, t),
+                )
+            )
+        start = net.time
+        net.run()
+        aggregate = sum(
+            2 * MB * 8.0 / (t - start) for t in done.values()
+        )
+        # Ceiling: HSUPA cap x small stochastic headroom.
+        assert aggregate < params.hsupa_cell_bps * 1.45

@@ -1,0 +1,65 @@
+"""Diurnal profiles (Fig. 1 shapes)."""
+
+import pytest
+
+from repro.netsim.diurnal import MOBILE_PROFILE, WIRED_PROFILE, DiurnalProfile
+
+
+class TestDiurnalProfile:
+    def test_normalized_to_unit_peak(self):
+        profile = DiurnalProfile([1.0] * 23 + [4.0])
+        assert max(profile.hourly) == 1.0
+        assert profile.peak_hour == 23
+
+    def test_interpolation_between_hours(self):
+        values = [0.0] * 24
+        values[10] = 1.0
+        profile = DiurnalProfile(values)
+        assert profile.value_at_hour(9.5) == pytest.approx(0.5)
+        assert profile.value_at_hour(10.0) == 1.0
+
+    def test_periodic_wraparound(self):
+        values = [0.5] * 24
+        values[0] = 1.0
+        profile = DiurnalProfile(values)
+        assert profile.value_at_hour(23.5) == pytest.approx(0.75)
+
+    def test_value_at_seconds(self):
+        profile = DiurnalProfile([1.0] * 24)
+        assert profile.value_at(3600.0 * 5.5) == 1.0
+
+    def test_needs_24_samples(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile([1.0] * 23)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile([-1.0] + [1.0] * 23)
+
+    def test_free_capacity_curve(self):
+        profile = DiurnalProfile([1.0] * 24)
+        free = profile.free_capacity_curve(0.6)
+        assert free(0.0) == pytest.approx(0.4)
+
+    def test_free_capacity_validates_utilization(self):
+        with pytest.raises(ValueError):
+            MOBILE_PROFILE.free_capacity_curve(1.2)
+
+
+class TestPaperProfiles:
+    def test_peaks_misaligned(self):
+        # The central observation of Fig. 1.
+        assert MOBILE_PROFILE.peak_hour != WIRED_PROFILE.peak_hour
+
+    def test_mobile_peaks_earlier_than_wired(self):
+        assert MOBILE_PROFILE.peak_hour < WIRED_PROFILE.peak_hour
+
+    def test_wired_peaks_in_the_evening(self):
+        assert 20 <= WIRED_PROFILE.peak_hour <= 23
+
+    def test_mobile_trough_at_night(self):
+        assert MOBILE_PROFILE.trough_hour in (2, 3, 4, 5)
+
+    def test_mobile_strongly_diurnal(self):
+        hourly = MOBILE_PROFILE.hourly
+        assert max(hourly) / min(hourly) > 2.0

@@ -1,0 +1,73 @@
+"""Event queue primitives."""
+
+import math
+
+import pytest
+
+from repro.netsim.engine import EventQueue, run_callback
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        for _ in range(2):
+            run_callback(queue.pop_due(10.0))
+        assert fired == ["a", "b"]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.schedule(5.0, lambda n=name: fired.append(n))
+        while True:
+            event = queue.pop_due(5.0)
+            if event is None:
+                break
+            run_callback(event)
+        assert fired == ["a", "b", "c"]
+
+    def test_pop_due_respects_now(self):
+        queue = EventQueue()
+        queue.schedule(3.0, lambda: None)
+        assert queue.pop_due(2.999) is None
+        assert queue.pop_due(3.0) is not None
+
+    def test_peek_time_empty_is_inf(self):
+        assert EventQueue().peek_time() == math.inf
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda: fired.append("x"))
+        queue.schedule(2.0, lambda: fired.append("y"))
+        handle.cancel()
+        assert queue.peek_time() == 2.0
+        run_callback(queue.pop_due(5.0))
+        assert fired == ["y"]
+
+    def test_cancelled_after_pop_not_run(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda: fired.append("x"))
+        popped = queue.pop_due(1.0)
+        handle.cancel()
+        run_callback(popped)
+        assert fired == []
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        a = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        a.cancel()
+        assert len(queue) == 1
+
+    def test_rejects_non_finite_time(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(math.inf, lambda: None)
+        with pytest.raises(ValueError):
+            queue.schedule(math.nan, lambda: None)

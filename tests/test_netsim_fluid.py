@@ -1,0 +1,245 @@
+"""The max-min fair fluid simulator — the substrate of everything."""
+
+import math
+
+import pytest
+
+from repro.netsim.fluid import (
+    Flow,
+    FluidNetwork,
+    completion_epsilon,
+    max_min_allocation,
+)
+from repro.netsim.link import Link, PiecewiseLink
+from repro.util.units import MB, mbps
+
+
+def make_flow(size, links, **kwargs):
+    return Flow(size, links, **kwargs)
+
+
+class TestMaxMinAllocation:
+    def test_single_flow_gets_bottleneck(self):
+        chain = [Link("a", 10.0), Link("b", 4.0)]
+        flow = make_flow(100.0, chain)
+        rates = max_min_allocation([flow], 0.0)
+        assert rates[flow] == pytest.approx(4.0)
+
+    def test_equal_split_on_shared_link(self):
+        shared = Link("s", 9.0)
+        flows = [make_flow(100.0, [shared]) for _ in range(3)]
+        rates = max_min_allocation(flows, 0.0)
+        for flow in flows:
+            assert rates[flow] == pytest.approx(3.0)
+
+    def test_water_filling_redistributes(self):
+        # Flow A limited to 1 by its private link; B shares the 10-link
+        # with A and should receive the leftover 9.
+        shared = Link("shared", 10.0)
+        private = Link("private", 1.0)
+        a = make_flow(100.0, [shared, private])
+        b = make_flow(100.0, [shared])
+        rates = max_min_allocation([a, b], 0.0)
+        assert rates[a] == pytest.approx(1.0)
+        assert rates[b] == pytest.approx(9.0)
+
+    def test_rate_cap_honoured(self):
+        link = Link("l", 10.0)
+        capped = make_flow(100.0, [link], rate_cap_bps=2.0)
+        free = make_flow(100.0, [link])
+        rates = max_min_allocation([capped, free], 0.0)
+        assert rates[capped] == pytest.approx(2.0)
+        assert rates[free] == pytest.approx(8.0)
+
+    def test_zero_capacity_link_freezes_flows(self):
+        dead = Link("dead", 0.0)
+        flow = make_flow(100.0, [dead])
+        rates = max_min_allocation([flow], 0.0)
+        assert rates[flow] == 0.0
+
+    def test_no_link_overloaded(self):
+        # A small mesh: assert feasibility of the allocation.
+        l1, l2, l3 = Link("1", 7.0), Link("2", 5.0), Link("3", 11.0)
+        flows = [
+            make_flow(1.0, [l1, l2]),
+            make_flow(1.0, [l2, l3]),
+            make_flow(1.0, [l1, l3]),
+            make_flow(1.0, [l3]),
+        ]
+        rates = max_min_allocation(flows, 0.0)
+        for link in (l1, l2, l3):
+            total = sum(
+                rates[f] for f in flows if link in f.links
+            )
+            assert total <= link.capacity_at(0.0) * (1 + 1e-9)
+
+    def test_empty_flow_list(self):
+        assert max_min_allocation([], 0.0) == {}
+
+
+class TestFluidNetworkBasics:
+    def test_single_transfer_timing(self):
+        net = FluidNetwork()
+        done = []
+        net.add_flow(
+            make_flow(
+                1 * MB, [Link("l", mbps(8))],
+                on_complete=lambda f, t: done.append(t),
+            )
+        )
+        net.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_delayed_start(self):
+        net = FluidNetwork()
+        done = []
+        net.add_flow(
+            make_flow(
+                1 * MB, [Link("l", mbps(8))],
+                on_complete=lambda f, t: done.append(t),
+            ),
+            delay=2.5,
+        )
+        net.run()
+        assert done == [pytest.approx(3.5)]
+
+    def test_two_flows_share_then_speed_up(self):
+        # Two equal flows on an 8 Mbps link: first completes at 2 s
+        # (shared), second at 3 s (full rate for its second half).
+        net = FluidNetwork()
+        link = Link("l", mbps(8))
+        done = []
+        net.add_flow(make_flow(1 * MB, [link], on_complete=lambda f, t: done.append(t)))
+        net.add_flow(make_flow(2 * MB, [link], on_complete=lambda f, t: done.append(t)))
+        net.run()
+        assert done[0] == pytest.approx(2.0)
+        assert done[1] == pytest.approx(3.0)
+
+    def test_zero_byte_flow_completes_immediately(self):
+        net = FluidNetwork()
+        done = []
+        net.add_flow(
+            make_flow(0.0, [Link("l", 1.0)], on_complete=lambda f, t: done.append(t))
+        )
+        net.run()
+        assert done == [0.0]
+
+    def test_abort_keeps_partial_progress(self):
+        net = FluidNetwork()
+        link = Link("l", mbps(8))
+        aborted = []
+        flow = make_flow(10 * MB, [link], on_abort=lambda f, t: aborted.append(t))
+        net.add_flow(flow)
+        net.schedule(2.0, lambda: net.abort_flow(flow))
+        net.run()
+        assert aborted == [pytest.approx(2.0)]
+        assert flow.transferred_bytes == pytest.approx(2 * MB)
+        assert flow.is_done
+
+    def test_abort_pending_flow_never_starts(self):
+        net = FluidNetwork()
+        started = []
+        flow = make_flow(
+            1 * MB, [Link("l", mbps(8))],
+            on_complete=lambda f, t: started.append(t),
+        )
+        net.add_flow(flow, delay=5.0)
+        net.abort_flow(flow)
+        net.run()
+        assert started == []
+        assert flow.transferred_bytes == 0.0
+
+    def test_cannot_add_finished_flow(self):
+        net = FluidNetwork()
+        flow = make_flow(1.0, [Link("l", 1.0)])
+        net.abort_flow(flow)
+        with pytest.raises(ValueError):
+            net.add_flow(flow)
+
+    def test_link_bytes_accounting(self):
+        net = FluidNetwork()
+        a, b = Link("a", mbps(8)), Link("b", mbps(8))
+        net.add_flow(make_flow(1 * MB, [a, b]))
+        net.run()
+        assert net.link_bytes["a"] == pytest.approx(1 * MB)
+        assert net.link_bytes["b"] == pytest.approx(1 * MB)
+
+
+class TestTimeVaryingCapacity:
+    def test_piecewise_capacity_integrated_exactly(self):
+        # 8 Mbps for 1 s then 4 Mbps: a 1.5 MB flow needs 1 MB + 0.5 MB
+        # -> 1 s + 1 s = 2 s.
+        net = FluidNetwork()
+        link = PiecewiseLink("p", [(0.0, mbps(8)), (1.0, mbps(4))])
+        done = []
+        net.add_flow(make_flow(1.5 * MB, [link], on_complete=lambda f, t: done.append(t)))
+        net.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_capacity_drop_to_zero_stalls_then_resumes(self):
+        net = FluidNetwork()
+        link = PiecewiseLink(
+            "p", [(0.0, mbps(8)), (0.5, 0.0), (2.0, mbps(8))]
+        )
+        done = []
+        net.add_flow(make_flow(1 * MB, [link], on_complete=lambda f, t: done.append(t)))
+        net.run()
+        # 0.5 MB before the outage, 0.5 MB after it ends at t=2.
+        assert done == [pytest.approx(2.5)]
+
+    def test_timer_during_transfer(self):
+        net = FluidNetwork()
+        link = Link("l", mbps(8))
+        events = []
+        net.add_flow(make_flow(2 * MB, [link], on_complete=lambda f, t: events.append(("done", t))))
+        net.schedule(1.0, lambda: events.append(("timer", net.time)))
+        net.run()
+        assert events == [("timer", pytest.approx(1.0)), ("done", pytest.approx(2.0))]
+
+
+class TestCallbackReentrancy:
+    def test_completion_callback_can_add_flow(self):
+        net = FluidNetwork()
+        link = Link("l", mbps(8))
+        done = []
+
+        def chain(flow, t):
+            done.append(t)
+            if len(done) < 3:
+                net.add_flow(
+                    make_flow(1 * MB, [link], on_complete=chain)
+                )
+
+        net.add_flow(make_flow(1 * MB, [link], on_complete=chain))
+        net.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_run_until_bounds_time(self):
+        net = FluidNetwork()
+        net.add_flow(make_flow(100 * MB, [Link("l", mbps(8))]))
+        final = net.run(until=3.0)
+        assert final == pytest.approx(3.0)
+        assert net.active_flows  # still in flight
+
+
+class TestCompletionEpsilon:
+    def test_absolute_floor(self):
+        assert completion_epsilon(10.0) == pytest.approx(1e-3)
+
+    def test_scales_with_size(self):
+        assert completion_epsilon(1e13) == pytest.approx(1e4)
+
+    def test_no_zero_progress_livelock(self):
+        # Regression: float residue after a completion-boundary step must
+        # not leave the flow alive (previously looped forever at loc3).
+        net = FluidNetwork(start_time=79214.33936045435)
+        link = PiecewiseLink(
+            "p", [(0.0, 1956013.0), (79216.0, 2538667.0)]
+        )
+        done = []
+        net.add_flow(
+            make_flow(2 * MB, [link], on_complete=lambda f, t: done.append(t)),
+            delay=0.68,
+        )
+        net.run()
+        assert len(done) == 1

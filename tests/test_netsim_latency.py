@@ -1,0 +1,22 @@
+"""RTT models."""
+
+import pytest
+
+from repro.netsim.latency import ADSL_RTT, HSPA_RTT, WIFI_LAN_RTT, RttModel
+
+
+class TestRttModel:
+    def test_request_overhead_one_rtt(self):
+        model = RttModel(base_rtt=0.05)
+        assert model.request_overhead() == pytest.approx(0.05)
+
+    def test_fresh_connection_costs_two_rtts(self):
+        model = RttModel(base_rtt=0.05)
+        assert model.request_overhead(fresh_connection=True) == pytest.approx(0.10)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            RttModel(base_rtt=-0.01)
+
+    def test_presets_ordering(self):
+        assert WIFI_LAN_RTT.base_rtt < ADSL_RTT.base_rtt < HSPA_RTT.base_rtt

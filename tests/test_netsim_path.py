@@ -1,0 +1,69 @@
+"""NetworkPath behaviour."""
+
+import pytest
+
+from repro.netsim.cellular import BaseStation, CellularDevice
+from repro.netsim.latency import HSPA_RTT, RttModel
+from repro.netsim.link import Link
+from repro.netsim.path import NetworkPath
+
+
+def make_cell_path(name="p"):
+    station = BaseStation("bs", seed=1)
+    device = CellularDevice("ph", station)
+    return NetworkPath(
+        name, device.downlink_chain(), rtt=HSPA_RTT, device=device
+    ), device
+
+
+class TestNetworkPath:
+    def test_wired_path_has_no_device(self):
+        path = NetworkPath("w", [Link("l", 1.0)])
+        assert not path.is_cellular
+        assert path.start_delay(0.0) == pytest.approx(
+            path.rtt.request_overhead(fresh_connection=True)
+        )
+
+    def test_cellular_start_delay_includes_acquisition(self):
+        path, device = make_cell_path()
+        delay = path.start_delay(0.0, fresh_connection=True)
+        assert delay == pytest.approx(
+            2.0 + HSPA_RTT.request_overhead(fresh_connection=True)
+        )
+
+    def test_second_request_cheaper(self):
+        path, _ = make_cell_path()
+        first = path.start_delay(0.0, fresh_connection=True)
+        second = path.start_delay(0.5, fresh_connection=False)
+        assert second < first
+
+    def test_capacity_estimate_is_min_of_chain(self):
+        path = NetworkPath("w", [Link("a", 5.0), Link("b", 2.0)])
+        assert path.capacity_estimate(0.0) == 2.0
+
+    def test_usage_accounting(self):
+        path = NetworkPath("w", [Link("l", 1.0)])
+        path.record_usage(100.0)
+        path.record_usage(50.0)
+        assert path.bytes_used == 150.0
+        with pytest.raises(ValueError):
+            path.record_usage(-1.0)
+
+    def test_flow_rate_cap_validated(self):
+        with pytest.raises(ValueError):
+            NetworkPath("w", [Link("l", 1.0)], flow_rate_cap_bps=0.0)
+
+    def test_notify_activity_touches_radio(self):
+        path, device = make_cell_path()
+        path.start_delay(0.0)  # channel comes up at t=2
+        # Keep the radio alive past the point where an untouched DCH
+        # would have demoted (2 s + 5 s inactivity timeout = 7 s).
+        path.notify_activity(4.0)
+        path.notify_activity(8.0)
+        assert path.start_delay(9.0, fresh_connection=False) == pytest.approx(
+            HSPA_RTT.request_overhead(fresh_connection=False)
+        )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkPath("", [Link("l", 1.0)])

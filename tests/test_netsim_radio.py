@@ -1,0 +1,71 @@
+"""RRC state machine."""
+
+import pytest
+
+from repro.netsim.radio import RadioStateMachine, RrcParameters, RrcState
+
+
+class TestAcquire:
+    def test_idle_start_pays_full_promotion(self):
+        radio = RadioStateMachine()
+        assert radio.acquire(0.0) == pytest.approx(2.0)
+        assert radio.state is RrcState.DCH
+
+    def test_connected_start_is_free(self):
+        radio = RadioStateMachine()
+        radio.force_connected(0.0)
+        assert radio.acquire(0.1) == 0.0
+
+    def test_fach_start_pays_reduced_promotion(self):
+        params = RrcParameters()
+        radio = RadioStateMachine(params)
+        radio.force_connected(0.0)
+        # After the DCH inactivity timeout the radio drops to FACH.
+        t = params.dch_inactivity_timeout + 1.0
+        assert radio.state_at(t) is RrcState.FACH
+        assert radio.acquire(t) == pytest.approx(params.fach_to_dch_delay)
+
+    def test_full_demotion_to_idle(self):
+        params = RrcParameters()
+        radio = RadioStateMachine(params)
+        radio.force_connected(0.0)
+        t = params.dch_inactivity_timeout + params.fach_inactivity_timeout + 1.0
+        assert radio.state_at(t) is RrcState.IDLE
+        assert radio.acquire(t) == pytest.approx(params.idle_to_dch_delay)
+
+
+class TestActivityTracking:
+    def test_touch_keeps_dch_alive(self):
+        params = RrcParameters()
+        radio = RadioStateMachine(params)
+        radio.force_connected(0.0)
+        for t in (2.0, 4.0, 6.0, 8.0):
+            radio.touch(t)
+        assert radio.state_at(9.0) is RrcState.DCH
+
+    def test_touch_during_promotion_is_noop(self):
+        radio = RadioStateMachine()
+        radio.acquire(0.0)  # channel up at t=2.0
+        radio.touch(1.0)    # mid-promotion; must not raise or regress
+        assert radio.state is RrcState.DCH
+
+    def test_state_query_during_promotion(self):
+        radio = RadioStateMachine()
+        radio.acquire(0.0)
+        assert radio.state_at(1.0) is RrcState.DCH
+
+    def test_acquire_while_waiting_costs_nothing_extra(self):
+        radio = RadioStateMachine()
+        radio.acquire(0.0)
+        # Second acquire right after the channel comes up: no extra delay.
+        assert radio.acquire(2.5) == 0.0
+
+
+class TestParameters:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RrcParameters(idle_to_dch_delay=-1.0)
+
+    def test_custom_parameters_used(self):
+        params = RrcParameters(idle_to_dch_delay=3.5)
+        assert RadioStateMachine(params).acquire(0.0) == 3.5

@@ -1,0 +1,39 @@
+"""Home Wi-Fi model."""
+
+import pytest
+
+from repro.netsim.wifi import WIFI_80211G, WIFI_80211N, WifiNetwork
+from repro.util.units import mbps
+
+
+class TestStandards:
+    def test_paper_goodputs(self):
+        assert WIFI_80211G.tcp_goodput_bps == mbps(24.0)
+        assert WIFI_80211N.tcp_goodput_bps == mbps(110.0)
+
+
+class TestWifiNetwork:
+    def test_interference_reduces_goodput(self):
+        wifi = WifiNetwork(WIFI_80211G, interference_loss=0.25)
+        assert wifi.effective_goodput_bps == pytest.approx(mbps(18.0))
+
+    def test_fixed_link_when_no_fading(self):
+        import math
+        link = WifiNetwork(WIFI_80211N, fading_sigma=0.0).build_link()
+        assert link.next_change_after(0.0) == math.inf
+
+    def test_fading_link_varies(self):
+        link = WifiNetwork(
+            WIFI_80211N, fading_sigma=0.3, seed=1
+        ).build_link()
+        caps = {link.capacity_at(t) for t in (0.0, 1.0, 2.0, 3.0, 4.0)}
+        assert len(caps) > 1
+
+    def test_lan_bounds_aggregation(self):
+        # The 11g LAN (24 Mbps) is the aggregation ceiling of §4.1.
+        wifi = WifiNetwork(WIFI_80211G, interference_loss=0.0)
+        assert wifi.effective_goodput_bps == mbps(24.0)
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            WifiNetwork(interference_loss=1.5)

@@ -1,0 +1,187 @@
+"""Unit tests of the three scheduling policies in isolation."""
+
+import pytest
+
+from repro.core.items import TransferItem, items_from_sizes
+from repro.core.scheduler import make_policy
+from repro.core.scheduler.base import PathWorker
+from repro.core.scheduler.greedy import GreedyPolicy
+from repro.core.scheduler.mintime import MinTimePolicy
+from repro.core.scheduler.roundrobin import RoundRobinPolicy
+from repro.netsim.link import Link
+from repro.netsim.path import NetworkPath
+from repro.util.units import mbps
+
+
+def make_workers(n, rates=None):
+    rates = rates or [mbps(2)] * n
+    return [
+        PathWorker(index=i, path=NetworkPath(f"p{i}", [Link(f"l{i}", rates[i])]))
+        for i in range(n)
+    ]
+
+
+class TestMakePolicy:
+    def test_by_name(self):
+        assert isinstance(make_policy("GRD"), GreedyPolicy)
+        assert isinstance(make_policy("rr"), RoundRobinPolicy)
+        assert isinstance(make_policy("Min"), MinTimePolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_policy("FIFO")
+
+
+class TestGreedyPolicy:
+    def test_items_in_order_to_first_asker(self):
+        workers = make_workers(2)
+        items = items_from_sizes([1.0, 2.0, 3.0])
+        policy = GreedyPolicy()
+        policy.initialize(workers, items)
+        first = policy.next_item(workers[0], 0.0)
+        second = policy.next_item(workers[1], 0.0)
+        assert first.item.label == "item-0" and not first.duplicate
+        assert second.item.label == "item-1"
+        assert policy.pending_count == 1
+
+    def test_endgame_duplicates_oldest_inflight(self):
+        workers = make_workers(3)
+        items = items_from_sizes([1.0, 2.0, 3.0])
+        policy = GreedyPolicy()
+        policy.initialize(workers, items)
+        for worker in workers:
+            assignment = policy.next_item(worker, 0.0)
+            worker.current_item = assignment.item
+        # Worker 2 finishes; nothing pending -> duplicate item-0 (oldest).
+        workers[2].current_item = None
+        assignment = policy.next_item(workers[2], 1.0)
+        assert assignment.duplicate
+        assert assignment.item.label == "item-0"
+
+    def test_no_duplicate_of_own_item(self):
+        workers = make_workers(2)
+        items = items_from_sizes([1.0])
+        policy = GreedyPolicy()
+        policy.initialize(workers, items)
+        assignment = policy.next_item(workers[0], 0.0)
+        workers[0].current_item = assignment.item
+        # The busy worker itself asking again must not duplicate its own
+        # transfer... and the other worker can.
+        other = policy.next_item(workers[1], 0.0)
+        assert other.duplicate and other.item.label == "item-0"
+
+    def test_idle_when_nothing_inflight(self):
+        workers = make_workers(2)
+        policy = GreedyPolicy()
+        policy.initialize(workers, items_from_sizes([1.0]))
+        policy.next_item(workers[0], 0.0)
+        # item is NOT marked in-flight on worker (runner does that); mimic
+        # a completed item: no current_item anywhere and nothing pending.
+        assert policy.next_item(workers[1], 0.0) is None
+
+
+class TestRoundRobinPolicy:
+    def test_cyclic_assignment(self):
+        workers = make_workers(2)
+        items = items_from_sizes([1.0, 2.0, 3.0, 4.0, 5.0])
+        policy = RoundRobinPolicy()
+        policy.initialize(workers, items)
+        assert policy.queue_depth(0) == 3
+        assert policy.queue_depth(1) == 2
+        labels = []
+        while True:
+            assignment = policy.next_item(workers[0], 0.0)
+            if assignment is None:
+                break
+            labels.append(assignment.item.label)
+        assert labels == ["item-0", "item-2", "item-4"]
+
+    def test_no_work_stealing(self):
+        workers = make_workers(2)
+        policy = RoundRobinPolicy()
+        policy.initialize(workers, items_from_sizes([1.0, 2.0]))
+        policy.next_item(workers[0], 0.0)
+        assert policy.next_item(workers[0], 0.0) is None
+        assert policy.queue_depth(1) == 1
+
+    def test_never_duplicates(self):
+        workers = make_workers(2)
+        policy = RoundRobinPolicy()
+        policy.initialize(workers, items_from_sizes([1.0, 2.0, 3.0]))
+        for _ in range(3):
+            for worker in workers:
+                assignment = policy.next_item(worker, 0.0)
+                if assignment:
+                    assert not assignment.duplicate
+
+
+class TestMinTimePolicy:
+    def test_bootstrap_round_robin(self):
+        workers = make_workers(2)
+        items = items_from_sizes([1.0, 2.0, 3.0, 4.0])
+        policy = MinTimePolicy()
+        policy.initialize(workers, items)
+        assert policy.queue_depth(0) == 1
+        assert policy.queue_depth(1) == 1
+
+    def test_prior_used_before_samples(self):
+        workers = make_workers(1)
+        policy = MinTimePolicy(prior_bps=mbps(2))
+        policy.initialize(workers, items_from_sizes([1.0]))
+        assert policy.estimated_bandwidth(workers[0]) == mbps(2)
+
+    def test_ewma_update_weighting(self):
+        workers = make_workers(1)
+        policy = MinTimePolicy(smoothing=0.75)
+        policy.initialize(workers, items_from_sizes([1.0]))
+        item = TransferItem("x", 1_000_000.0)
+        policy.on_item_complete(workers[0], item, duration=1.0, now=1.0)
+        assert policy.estimated_bandwidth(workers[0]) == pytest.approx(8e6)
+        policy.on_item_complete(workers[0], item, duration=2.0, now=3.0)
+        # 0.75 * 4e6 + 0.25 * 8e6 = 5e6.
+        assert policy.estimated_bandwidth(workers[0]) == pytest.approx(5e6)
+
+    def test_flush_commits_to_estimated_fastest(self):
+        workers = make_workers(2)
+        items = items_from_sizes([1_000_000.0] * 6)
+        policy = MinTimePolicy(prior_bps=mbps(2))
+        policy.initialize(workers, items)
+        # Worker 0 completes its 1 MB bootstrap item very fast -> its
+        # EWMA estimate (800 Mbps) dwarfs worker 1's 2 Mbps prior.
+        policy.next_item(workers[0], 0.0)
+        policy.on_item_complete(
+            workers[0], items[0], duration=0.01, now=0.01
+        )
+        policy.next_item(workers[0], 0.02)
+        # All four remaining items should have been flushed, mostly to
+        # the "fast" worker 0.
+        assert policy.queue_depth(0) + policy.queue_depth(1) >= 2
+        assert policy.queue_depth(0) > policy.queue_depth(1)
+
+    def test_committed_items_never_reassigned(self):
+        workers = make_workers(2)
+        items = items_from_sizes([1.0] * 4)
+        policy = MinTimePolicy()
+        policy.initialize(workers, items)
+        policy.next_item(workers[0], 0.0)
+        policy.on_item_complete(workers[0], items[0], 1.0, 1.0)
+        policy.next_item(workers[0], 1.0)
+        depth_1 = policy.queue_depth(1)
+        # Even if worker 1 is slow, its committed queue stays put.
+        policy.on_item_complete(workers[1], items[1], 100.0, 100.0)
+        assert policy.queue_depth(1) == depth_1
+
+    def test_smoothing_validated(self):
+        with pytest.raises(ValueError):
+            MinTimePolicy(smoothing=0.0)
+        with pytest.raises(ValueError):
+            MinTimePolicy(prior_bps=0.0)
+
+    def test_zero_duration_sample_ignored(self):
+        workers = make_workers(1)
+        policy = MinTimePolicy(prior_bps=mbps(2))
+        policy.initialize(workers, items_from_sizes([1.0]))
+        policy.on_item_complete(
+            workers[0], TransferItem("x", 1.0), duration=0.0, now=0.0
+        )
+        assert policy.estimated_bandwidth(workers[0]) == mbps(2)

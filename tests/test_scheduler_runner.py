@@ -1,0 +1,208 @@
+"""TransactionRunner: the scheduler machinery on the fluid simulator."""
+
+import pytest
+
+from repro.core.items import Transaction, TransferItem, items_from_sizes
+from repro.core.scheduler import TransactionRunner, make_policy
+from repro.netsim.fluid import FluidNetwork
+from repro.netsim.latency import RttModel
+from repro.netsim.link import Link, PiecewiseLink
+from repro.netsim.path import NetworkPath
+from repro.util.units import MB, mbps
+
+NO_RTT = RttModel(0.0)
+
+
+def make_paths(rates, shared=None):
+    """Independent fixed-rate paths (plus an optional shared link)."""
+    paths = []
+    for i, rate in enumerate(rates):
+        links = [Link(f"l{i}", rate)]
+        if shared is not None:
+            links.append(shared)
+        paths.append(NetworkPath(f"p{i}", links, rtt=NO_RTT))
+    return paths
+
+
+def run_transaction(policy_name, rates, sizes, shared=None):
+    net = FluidNetwork()
+    paths = make_paths(rates, shared)
+    runner = TransactionRunner(net, paths, make_policy(policy_name))
+    txn = Transaction(items_from_sizes(sizes))
+    return runner.run(txn), txn, paths
+
+
+class TestBasicExecution:
+    @pytest.mark.parametrize("policy", ["GRD", "RR", "MIN"])
+    def test_all_items_complete_exactly_once(self, policy):
+        result, txn, _ = run_transaction(
+            policy, [mbps(2), mbps(4)], [1 * MB] * 7
+        )
+        assert set(result.records) == {item.label for item in txn}
+
+    def test_single_path_is_sequential(self):
+        result, _, _ = run_transaction("GRD", [mbps(8)], [1 * MB, 1 * MB])
+        assert result.total_time == pytest.approx(2.0)
+        assert result.wasted_bytes == 0.0
+
+    def test_two_equal_paths_halve_time(self):
+        result, _, _ = run_transaction(
+            "GRD", [mbps(8), mbps(8)], [1 * MB] * 4
+        )
+        assert result.total_time == pytest.approx(2.0)
+
+    def test_greedy_work_conservation_beats_rr_under_asymmetry(self):
+        # 4:1 path asymmetry: RR strands half the items on the slow path.
+        rates = [mbps(8), mbps(2)]
+        sizes = [1 * MB] * 8
+        grd, _, _ = run_transaction("GRD", rates, sizes)
+        rr, _, _ = run_transaction("RR", rates, sizes)
+        assert grd.total_time < rr.total_time
+
+    def test_result_accounting(self):
+        result, txn, paths = run_transaction(
+            "GRD", [mbps(8), mbps(8)], [1 * MB] * 4
+        )
+        assert result.payload_bytes == txn.total_bytes
+        moved = sum(result.path_bytes.values())
+        assert moved == pytest.approx(
+            txn.total_bytes + result.wasted_bytes, rel=1e-6
+        )
+
+    def test_goodput_property(self):
+        result, txn, _ = run_transaction("GRD", [mbps(8)], [1 * MB])
+        assert result.goodput_bps == pytest.approx(mbps(8))
+
+
+class TestDuplication:
+    def test_endgame_duplicate_rescues_stalled_item(self):
+        # Path 1 dies shortly after the transaction starts; its item can
+        # only finish because GRD re-transfers it on the healthy path.
+        net = FluidNetwork()
+        dying = PiecewiseLink("dying", [(0.0, mbps(2)), (0.5, 0.0)])
+        paths = [
+            NetworkPath("good", [Link("good-l", mbps(8))], rtt=NO_RTT),
+            NetworkPath("bad", [dying], rtt=NO_RTT),
+        ]
+        runner = TransactionRunner(net, paths, make_policy("GRD"))
+        result = runner.run(
+            Transaction(items_from_sizes([1 * MB, 1 * MB])), until=100.0
+        )
+        assert len(result.records) == 2
+        # The rescued item was transferred more than once.
+        assert max(r.copies for r in result.records.values()) >= 2
+        assert result.wasted_bytes > 0.0
+
+    def test_rr_cannot_rescue(self):
+        net = FluidNetwork()
+        dying = PiecewiseLink("dying", [(0.0, mbps(2)), (0.5, 0.0)])
+        paths = [
+            NetworkPath("good", [Link("good-l", mbps(8))], rtt=NO_RTT),
+            NetworkPath("bad", [dying], rtt=NO_RTT),
+        ]
+        runner = TransactionRunner(net, paths, make_policy("RR"))
+        with pytest.raises(RuntimeError, match="incomplete"):
+            runner.run(
+                Transaction(items_from_sizes([1 * MB, 1 * MB])), until=50.0
+            )
+
+    def test_waste_bounded_and_small(self):
+        # The paper bounds waste by (N-1) * S_max via the at-most-N-1
+        # *concurrent* duplicates argument; summed over an endgame with
+        # several duplicated items the realised waste can exceed that
+        # single-instant bound (especially with persistently slow paths),
+        # but it must stay a modest fraction of the payload and every
+        # item may have at most N copies.
+        for sizes in ([1 * MB] * 10, [0.3 * MB, 2 * MB] * 5):
+            result, txn, _ = run_transaction(
+                "GRD", [mbps(8), mbps(3), mbps(1)], sizes
+            )
+            assert result.wasted_bytes < 0.5 * txn.total_bytes
+            assert all(r.copies <= 3 for r in result.records.values())
+
+    def test_waste_within_paper_bound_for_two_paths(self):
+        # With two similar paths the endgame is a single duplication and
+        # the paper's (N-1) * S_max bound does hold.
+        result, txn, _ = run_transaction(
+            "GRD", [mbps(4), mbps(3)], [1 * MB] * 6
+        )
+        assert result.wasted_bytes <= txn.max_item_bytes * (1 + 1e-9)
+
+    def test_no_duplication_when_paths_balanced(self):
+        result, _, _ = run_transaction(
+            "GRD", [mbps(4), mbps(4)], [1 * MB] * 6
+        )
+        assert result.overhead_fraction < 0.35
+
+
+class TestSharedBottleneck:
+    def test_shared_link_bounds_aggregate(self):
+        # Both paths share a 4 Mbps link: 4 MB can't finish faster than 8 s.
+        shared = Link("shared", mbps(4))
+        result, _, _ = run_transaction(
+            "GRD", [mbps(100), mbps(100)], [1 * MB] * 4, shared=shared
+        )
+        assert result.total_time >= 8.0 - 1e-6
+
+
+class TestTimings:
+    def test_time_to_complete_prefix(self):
+        result, txn, _ = run_transaction("GRD", [mbps(8)], [1 * MB] * 4)
+        first_two = [item.label for item in txn.items[:2]]
+        assert result.time_to_complete(first_two) == pytest.approx(2.0)
+        assert result.time_to_complete(
+            [i.label for i in txn.items]
+        ) == pytest.approx(result.total_time)
+
+    def test_time_to_complete_unknown_label(self):
+        result, _, _ = run_transaction("GRD", [mbps(8)], [1 * MB])
+        with pytest.raises(KeyError):
+            result.time_to_complete(["nope"])
+
+    def test_records_carry_paths(self):
+        result, _, paths = run_transaction("GRD", [mbps(8)], [1 * MB])
+        record = next(iter(result.records.values()))
+        assert record.path_name == paths[0].name
+        assert record.elapsed > 0.0
+
+
+class TestRunnerLifecycle:
+    def test_single_use(self):
+        net = FluidNetwork()
+        runner = TransactionRunner(
+            net, make_paths([mbps(8)]), make_policy("GRD")
+        )
+        runner.run(Transaction(items_from_sizes([1 * MB])))
+        with pytest.raises(RuntimeError, match="single-use"):
+            runner.run(Transaction(items_from_sizes([1 * MB])))
+
+    def test_duplicate_path_names_rejected(self):
+        net = FluidNetwork()
+        paths = [
+            NetworkPath("same", [Link("a", 1.0)]),
+            NetworkPath("same", [Link("b", 1.0)]),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            TransactionRunner(net, paths, make_policy("GRD"))
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionRunner(FluidNetwork(), [], make_policy("GRD"))
+
+    def test_item_completion_callback(self):
+        net = FluidNetwork()
+        seen = []
+        runner = TransactionRunner(
+            net,
+            make_paths([mbps(8)]),
+            make_policy("GRD"),
+            on_item_complete=lambda r: seen.append(r.label),
+        )
+        runner.run(Transaction(items_from_sizes([1 * MB, 1 * MB])))
+        assert seen == ["item-0", "item-1"]
+
+    def test_fewer_items_than_paths(self):
+        result, _, _ = run_transaction(
+            "GRD", [mbps(8), mbps(8), mbps(8)], [1 * MB]
+        )
+        assert len(result.records) == 1

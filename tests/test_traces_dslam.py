@@ -1,0 +1,65 @@
+"""Synthetic DSLAM trace: the §6 statistics."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.diurnal import WIRED_PROFILE
+from repro.traces.dslam import generate_dslam_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_dslam_trace(n_subscribers=2000, seed=3)
+
+
+class TestPaperStatistics:
+    def test_video_user_fraction(self, trace):
+        assert len(trace.video_users) / trace.n_subscribers == pytest.approx(
+            0.68, abs=0.02
+        )
+
+    def test_videos_per_user_moments(self, trace):
+        counts = [len(v) for v in trace.requests_by_user().values()]
+        # Paper: mean 14.12, median 6, sd 30.13.
+        assert 10.0 < np.mean(counts) < 19.0
+        assert 4 <= np.median(counts) <= 9
+        assert np.std(counts) > 12.0
+
+    def test_video_sizes_average_50mb(self, trace):
+        sizes = [r.size_bytes for r in trace.requests]
+        assert 40e6 < np.mean(sizes) < 60e6
+
+    def test_adsl_speed_of_the_trace(self, trace):
+        assert trace.adsl_down_bps == 3e6
+
+
+class TestStructure:
+    def test_requests_sorted_by_time(self, trace):
+        times = [r.time_s for r in trace.requests]
+        assert times == sorted(times)
+
+    def test_times_within_day(self, trace):
+        assert all(0.0 <= r.time_s < 86_400.0 for r in trace.requests)
+
+    def test_diurnal_shape(self, trace):
+        volumes = trace.hourly_volume_bytes()
+        peak_hour = int(np.argmax(volumes))
+        # Requests follow the wired evening-peak profile.
+        assert abs(peak_hour - WIRED_PROFILE.peak_hour) <= 2
+        assert volumes.max() > 3 * volumes.min()
+
+    def test_per_user_requests_time_ordered(self, trace):
+        grouped = trace.requests_by_user()
+        sample_users = list(grouped)[:20]
+        for user in sample_users:
+            times = [r.time_s for r in grouped[user]]
+            assert times == sorted(times)
+
+    def test_deterministic(self):
+        a = generate_dslam_trace(100, seed=9)
+        b = generate_dslam_trace(100, seed=9)
+        assert a.requests[10] == b.requests[10]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_dslam_trace(0)

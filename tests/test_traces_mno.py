@@ -1,0 +1,78 @@
+"""Synthetic MNO dataset: the Fig. 10 statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.mno import (
+    MnoDataset,
+    generate_mno_dataset,
+    sample_typical_fractions,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_mno_dataset(n_users=4000, months=12, seed=1)
+
+
+class TestFig10Statistics:
+    def test_forty_percent_use_under_ten_percent(self, dataset):
+        fractions = dataset.used_fractions_last_month()
+        assert 0.35 <= float(np.mean(fractions < 0.10)) <= 0.47
+
+    def test_seventyfive_percent_use_under_half(self, dataset):
+        fractions = dataset.used_fractions_last_month()
+        assert 0.70 <= float(np.mean(fractions < 0.50)) <= 0.82
+
+    def test_some_users_exceed_cap(self, dataset):
+        fractions = dataset.used_fractions_last_month()
+        assert 0.0 < float(np.mean(fractions > 1.0)) < 0.10
+
+    def test_mean_daily_free_volume_meaningful(self, dataset):
+        # Paper works with ~20 MB/day per device of leftover volume.
+        assert 10e6 < dataset.mean_daily_free_bytes < 80e6
+
+
+class TestDatasetStructure:
+    def test_deterministic(self):
+        a = generate_mno_dataset(100, seed=5)
+        b = generate_mno_dataset(100, seed=5)
+        assert a.users[7].monthly_usage_bytes == b.users[7].monthly_usage_bytes
+
+    def test_user_accessors(self, dataset):
+        caps = dataset.cap_by_user()
+        usage = dataset.usage_by_user()
+        assert set(caps) == set(usage)
+        user = dataset.users[0]
+        assert caps[user.user_id] == user.cap_bytes
+        assert len(usage[user.user_id]) == 12
+
+    def test_monthly_usage_bounded(self, dataset):
+        for user in dataset.users[:200]:
+            for usage in user.monthly_usage_bytes:
+                assert 0.0 <= usage <= 1.3 * user.cap_bytes
+
+    def test_user_months_correlated(self, dataset):
+        # A user's months share a typical level: across-user variance of
+        # per-user means must exceed within-user month-to-month variance.
+        fractions = np.array([
+            [u / user.cap_bytes for u in user.monthly_usage_bytes]
+            for user in dataset.users[:1000]
+        ])
+        across = np.var(fractions.mean(axis=1))
+        within = np.mean(np.var(fractions, axis=1))
+        assert across > within
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_mno_dataset(0)
+        with pytest.raises(ValueError):
+            generate_mno_dataset(10, months=0)
+
+
+class TestTypicalFractions:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        fractions = sample_typical_fractions(5000, rng)
+        assert fractions.min() >= 0.0
+        assert fractions.max() <= 1.15

@@ -1,0 +1,62 @@
+"""Streaming statistics (Welford) and exponential smoothing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import RunningStats, ewma_update
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        data = [3.0, 1.5, -2.0, 7.25, 0.0, 4.5]
+        stats = RunningStats()
+        stats.extend(data)
+        assert stats.count == len(data)
+        assert stats.mean == pytest.approx(np.mean(data))
+        assert stats.variance == pytest.approx(np.var(data, ddof=1))
+        assert stats.stdev == pytest.approx(np.std(data, ddof=1))
+        assert stats.minimum == min(data)
+        assert stats.maximum == max(data)
+
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        with pytest.raises(ValueError):
+            _ = stats.minimum
+
+    def test_single_sample_variance_zero(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.variance == 0.0
+        assert stats.minimum == stats.maximum == 5.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            RunningStats().add(math.nan)
+
+    def test_numerically_stable_for_large_offsets(self):
+        # Welford should survive a large common offset.
+        base = 1e12
+        data = [base + x for x in (0.0, 1.0, 2.0)]
+        stats = RunningStats()
+        stats.extend(data)
+        assert stats.variance == pytest.approx(1.0, rel=1e-6)
+
+
+class TestEwma:
+    def test_bootstraps_with_first_sample(self):
+        assert ewma_update(None, 10.0, 0.75) == 10.0
+
+    def test_paper_weighting(self):
+        # alpha = 0.75 weights the NEW sample at 75%.
+        assert ewma_update(4.0, 8.0, 0.75) == pytest.approx(7.0)
+
+    def test_alpha_one_tracks_sample(self):
+        assert ewma_update(99.0, 3.0, 1.0) == 3.0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            ewma_update(1.0, 2.0, 1.5)

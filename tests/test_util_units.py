@@ -1,0 +1,63 @@
+"""Unit-conversion helpers: the single place a factor of 8 may live."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestRates:
+    def test_kbps(self):
+        assert units.kbps(200.0) == 200_000.0
+
+    def test_mbps(self):
+        assert units.mbps(6.7) == pytest.approx(6_700_000.0)
+
+    def test_gbps(self):
+        assert units.gbps(1.0) == 1e9
+
+    def test_rate_to_mbps_round_trip(self):
+        assert units.rate_to_mbps(units.mbps(3.44)) == pytest.approx(3.44)
+
+
+class TestVolumes:
+    def test_megabytes(self):
+        assert units.megabytes(2.5) == 2_500_000.0
+
+    def test_bits_bytes_round_trip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(123.0)) == 123.0
+
+    def test_bytes_to_megabytes(self):
+        assert units.bytes_to_megabytes(20 * units.MB) == pytest.approx(20.0)
+
+    def test_constants_are_decimal(self):
+        assert units.GB == 1000 * units.MB == 1_000_000 * units.KB
+
+
+class TestTransferTime:
+    def test_one_megabyte_at_8mbps_takes_one_second(self):
+        assert units.seconds_to_transfer(1_000_000, units.mbps(8)) == 1.0
+
+    def test_paper_upload_example(self):
+        # 75 MB of photos over a 0.62 Mbps uplink: the order of the
+        # paper's ~900 s upload times.
+        seconds = units.seconds_to_transfer(75 * units.MB, units.mbps(0.62))
+        assert 900 < seconds < 1000
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            units.seconds_to_transfer(1.0, 0.0)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError, match="volume"):
+            units.seconds_to_transfer(-1.0, 1.0)
+
+    def test_transfer_volume_inverse(self):
+        rate = units.mbps(2.0)
+        seconds = units.seconds_to_transfer(5 * units.MB, rate)
+        assert units.transfer_volume(rate, seconds) == pytest.approx(5 * units.MB)
+
+    def test_transfer_volume_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            units.transfer_volume(1.0, -0.1)

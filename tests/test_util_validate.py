@@ -1,0 +1,56 @@
+"""Argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validate import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2) == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", bad)
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+        with pytest.raises(TypeError):
+            check_positive("x", "3")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_fraction("x", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_fraction("x", bad)
+
+    def test_probability_alias(self):
+        assert check_probability is check_fraction

@@ -1,0 +1,76 @@
+"""Sequential HTTP client (the unassisted baseline)."""
+
+import pytest
+
+from repro.netsim.fluid import FluidNetwork
+from repro.netsim.latency import RttModel
+from repro.netsim.link import Link
+from repro.netsim.path import NetworkPath
+from repro.web.client import SequentialHttpClient
+from repro.util.units import MB, mbps
+
+
+def make_setup(rate=mbps(8), rtt=0.0, cap=None):
+    net = FluidNetwork()
+    path = NetworkPath(
+        "p", [Link("l", rate)], rtt=RttModel(rtt), flow_rate_cap_bps=cap
+    )
+    return net, SequentialHttpClient(net, path)
+
+
+class TestSequentialClient:
+    def test_items_run_back_to_back(self):
+        net, client = make_setup()
+        total = client.run([("a", 1 * MB), ("b", 1 * MB)])
+        assert total == pytest.approx(2.0)
+        assert [e.label for e in client.log] == ["a", "b"]
+
+    def test_request_overhead_per_item(self):
+        net, client = make_setup(rtt=0.1)
+        # First item: 2 RTT (fresh connection); second: 1 RTT.
+        total = client.run([("a", 1 * MB), ("b", 1 * MB)])
+        assert total == pytest.approx(2.0 + 0.2 + 0.1)
+
+    def test_flow_cap_respected(self):
+        net, client = make_setup(rate=mbps(8), cap=mbps(4))
+        total = client.run([("a", 1 * MB)])
+        assert total == pytest.approx(2.0)
+
+    def test_log_entries_have_durations(self):
+        net, client = make_setup()
+        client.run([("a", 2 * MB)])
+        entry = client.log[0]
+        assert entry.duration == pytest.approx(2.0)
+        assert entry.size_bytes == 2 * MB
+
+    def test_item_callback_order(self):
+        net, client = make_setup()
+        seen = []
+        client.submit(
+            [("a", 1 * MB), ("b", 1 * MB)],
+            on_item_complete=lambda e: seen.append(e.label),
+        )
+        net.run()
+        assert seen == ["a", "b"]
+
+    def test_empty_items_rejected(self):
+        net, client = make_setup()
+        with pytest.raises(ValueError):
+            client.run([])
+
+    def test_zero_size_item_rejected(self):
+        net, client = make_setup()
+        with pytest.raises(ValueError):
+            client.run([("a", 0.0)])
+
+    def test_dead_path_raises(self):
+        net = FluidNetwork()
+        path = NetworkPath("dead", [Link("l", 0.0)])
+        client = SequentialHttpClient(net, path)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            client.run([("a", 1 * MB)], until=10.0)
+
+    def test_usage_recorded_on_path(self):
+        net, client = make_setup()
+        client.run([("a", 1 * MB)])
+        assert client.path.bytes_used == pytest.approx(1 * MB)

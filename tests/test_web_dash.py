@@ -1,0 +1,79 @@
+"""DASH manifest support (the HLS ~ DASH equivalence of §4.1)."""
+
+import pytest
+
+from repro.web.dash import parse_mpd, render_mpd
+from repro.web.hls import make_bipbop_video
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def mpd(self):
+        return render_mpd(make_bipbop_video())
+
+    def test_renders_valid_xml(self, mpd):
+        assert mpd.startswith("<?xml")
+        assert "MPD" in mpd
+        assert "SegmentTemplate" in mpd
+
+    def test_round_trip_preserves_structure(self, mpd):
+        video = make_bipbop_video()
+        playlists = parse_mpd(mpd, video_name="bipbop")
+        assert set(playlists) == {"Q1", "Q2", "Q3", "Q4"}
+        for name, playlist in playlists.items():
+            original = video.playlist(name)
+            assert len(playlist.segments) == len(original.segments)
+            assert playlist.duration_s == pytest.approx(original.duration_s)
+            assert playlist.quality.bitrate_bps == pytest.approx(
+                original.quality.bitrate_bps, rel=1e-6
+            )
+
+    def test_segment_sizes_match_bitrate(self, mpd):
+        playlists = parse_mpd(mpd)
+        q4 = playlists["Q4"]
+        assert q4.segments[0].size_bytes == pytest.approx(922_500.0)
+
+    def test_segment_uris_numbered(self, mpd):
+        playlists = parse_mpd(mpd)
+        assert playlists["Q1"].segments[0].uri.endswith("seg00000.ts")
+        assert playlists["Q1"].segments[7].uri.endswith("seg00007.ts")
+
+
+class TestSchedulerInterop:
+    def test_dash_segments_feed_the_scheduler(self):
+        from repro.core.items import Transaction
+        from repro.core.proxy import segments_to_items
+        from repro.core.scheduler import TransactionRunner, make_policy
+        from repro.netsim.fluid import FluidNetwork
+        from repro.netsim.latency import RttModel
+        from repro.netsim.link import Link
+        from repro.netsim.path import NetworkPath
+        from repro.util.units import mbps
+
+        playlists = parse_mpd(render_mpd(make_bipbop_video()))
+        items = segments_to_items(playlists["Q2"])
+        network = FluidNetwork()
+        paths = [
+            NetworkPath("a", [Link("la", mbps(3))], rtt=RttModel(0.0)),
+            NetworkPath("b", [Link("lb", mbps(3))], rtt=RttModel(0.0)),
+        ]
+        runner = TransactionRunner(network, paths, make_policy("GRD"))
+        result = runner.run(Transaction(items))
+        assert len(result.records) == 20
+
+
+class TestValidation:
+    def test_not_xml_rejected(self):
+        with pytest.raises(ValueError, match="not an MPD"):
+            parse_mpd("#EXTM3U")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            parse_mpd("<foo/>")
+
+    def test_bad_duration_rejected(self):
+        from repro.web.dash import _parse_duration
+
+        with pytest.raises(ValueError):
+            _parse_duration("12s")
+        assert _parse_duration("PT200.000S") == 200.0

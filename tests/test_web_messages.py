@@ -1,0 +1,70 @@
+"""HTTP message objects."""
+
+import pytest
+
+from repro.web.messages import Headers, HttpRequest, HttpResponse
+
+
+class TestHeaders:
+    def test_case_insensitive(self):
+        headers = Headers({"Content-Type": "text/plain"})
+        assert headers.get("content-type") == "text/plain"
+        assert "CONTENT-TYPE" in headers
+
+    def test_set_replaces(self):
+        headers = Headers()
+        headers.set("X-A", "1")
+        headers.set("x-a", "2")
+        assert headers.get("X-A") == "2"
+        assert len(headers) == 1
+
+    def test_get_default(self):
+        assert Headers().get("missing", "d") == "d"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Headers().set("bad name", "x")
+        with pytest.raises(ValueError):
+            Headers().set("", "x")
+
+    def test_equality(self):
+        assert Headers({"A": "1"}) == Headers({"a": "1"})
+
+
+class TestHttpRequest:
+    def test_method_normalised(self):
+        assert HttpRequest("get", "/x").method == "GET"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest("FETCH", "/x")
+
+    def test_upload_flag(self):
+        assert HttpRequest("POST", "/u", body_bytes=100.0).is_upload
+        assert not HttpRequest("GET", "/u").is_upload
+
+    def test_path_extraction(self):
+        request = HttpRequest("GET", "http://host/a/b.m3u8?q=1")
+        assert request.path == "/a/b.m3u8"
+
+    def test_path_of_bare_path_url(self):
+        assert HttpRequest("GET", "/a/b").path == "/a/b"
+
+    def test_negative_body_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest("POST", "/u", body_bytes=-1.0)
+
+
+class TestHttpResponse:
+    def test_ok_range(self):
+        assert HttpResponse(200).ok
+        assert HttpResponse(204).ok
+        assert not HttpResponse(404).ok
+
+    def test_body_sets_size(self):
+        response = HttpResponse(200, body="hello")
+        assert response.body_bytes == 5.0
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError):
+            HttpResponse(99)

@@ -1,0 +1,55 @@
+"""Origin server model."""
+
+import pytest
+
+from repro.web.hls import make_bipbop_video
+from repro.web.messages import HttpRequest
+from repro.web.origin import OriginServer
+from repro.util.units import mbps
+
+
+@pytest.fixture
+def origin():
+    server = OriginServer()
+    server.host_video(make_bipbop_video())
+    return server
+
+
+class TestOriginServer:
+    def test_testbed_capacities(self):
+        server = OriginServer()
+        assert server.downlink.capacity_at(0.0) == mbps(100)
+        assert server.uplink.capacity_at(0.0) == mbps(40)
+
+    def test_serves_playlist(self, origin):
+        response = origin.handle(
+            HttpRequest("GET", "/bipbop/Q2/index.m3u8")
+        )
+        assert response.ok
+        assert response.body.startswith("#EXTM3U")
+
+    def test_serves_segment_size(self, origin):
+        uri = make_bipbop_video().playlist("Q1").segments[0].uri
+        response = origin.handle(HttpRequest("GET", uri))
+        assert response.ok
+        assert response.body_bytes == pytest.approx(250_000.0)
+
+    def test_unknown_path_404(self, origin):
+        assert origin.handle(HttpRequest("GET", "/nope")).status == 404
+
+    def test_accepts_uploads(self, origin):
+        response = origin.handle(
+            HttpRequest("POST", "/upload?name=a", body_bytes=500.0)
+        )
+        assert response.ok
+        assert origin.received_uploads["/upload?name=a"] == 500.0
+
+    def test_lookup_size(self, origin):
+        uri = make_bipbop_video().playlist("Q4").segments[3].uri
+        assert origin.lookup_size(uri) == pytest.approx(922_500.0)
+        assert origin.lookup_size("/nope") is None
+
+    def test_video_lookup(self, origin):
+        assert origin.video("bipbop").name == "bipbop"
+        with pytest.raises(KeyError):
+            origin.video("other")

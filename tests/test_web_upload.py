@@ -1,0 +1,43 @@
+"""Multipart upload modelling."""
+
+import pytest
+
+from repro.web.upload import (
+    MULTIPART_PART_OVERHEAD_BYTES,
+    MultipartUpload,
+    Photo,
+    photo_upload_requests,
+)
+
+
+class TestPhoto:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Photo(name="", size_bytes=1.0)
+        with pytest.raises(ValueError):
+            Photo(name="a.jpg", size_bytes=0.0)
+
+
+class TestMultipartUpload:
+    def test_body_includes_framing(self):
+        upload = MultipartUpload(Photo("a.jpg", 1000.0))
+        assert upload.body_bytes == 1000.0 + MULTIPART_PART_OVERHEAD_BYTES
+
+    def test_to_request(self):
+        request = MultipartUpload(Photo("a.jpg", 1000.0)).to_request()
+        assert request.method == "POST"
+        assert request.is_upload
+        assert "multipart/form-data" in request.headers.get("Content-Type")
+        assert request.headers.get("Content-Length") == "1200"
+
+
+class TestPhotoUploadRequests:
+    def test_one_post_per_photo(self):
+        photos = [Photo(f"{i}.jpg", 1000.0 * (i + 1)) for i in range(3)]
+        requests = photo_upload_requests(photos)
+        assert len(requests) == 3
+        assert all(r.method == "POST" for r in requests)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            photo_upload_requests([])
