@@ -3,7 +3,10 @@
 Each benchmark module regenerates one table or figure of the paper: it
 times the experiment via pytest-benchmark (one round — these are
 experiments, not microbenchmarks), prints the reproduced rows/series next
-to the paper's claims, and asserts the shape claims hold.
+to the paper's claims, and asserts the shape claims hold. Benchmark-size
+parameters come from the experiment registry
+(``repro.experiments.registry.get(id).bench_params``), the same catalogue
+the CLI and EXPERIMENTS.md generator run from.
 
 Run with: pytest benchmarks/ --benchmark-only
 """

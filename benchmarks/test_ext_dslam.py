@@ -1,10 +1,11 @@
 """Extension — 3GOL under DSLAM oversubscription."""
 
 from repro.experiments import ext_dslam
+from repro.experiments.registry import get
 
 
 def test_ext_dslam(once):
-    result = once(ext_dslam.run, seeds=(0, 1, 2))
+    result = once(ext_dslam.run, **get("ext-dslam").bench_params)
     print()
     print(result.render())
     # Contention cripples the wired path but not the cellular ones, so

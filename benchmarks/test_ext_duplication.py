@@ -1,10 +1,11 @@
 """Ablation §4.1.1 — endgame duplication on vs off."""
 
 from repro.experiments import ext_duplication
+from repro.experiments.registry import get
 
 
 def test_ext_duplication(once):
-    result = once(ext_duplication.run, seeds=(0, 1, 2, 3))
+    result = once(ext_duplication.run, **get("ext-duplication").bench_params)
     print()
     print(result.render())
     # Duplication is cheap insurance: negligible on steady paths, a

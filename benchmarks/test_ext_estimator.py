@@ -1,10 +1,11 @@
 """Ablation §6 — allowance-estimator design space."""
 
 from repro.experiments import ext_estimator
+from repro.experiments.registry import get
 
 
 def test_ext_estimator(once):
-    result = once(ext_estimator.run, n_users=1500)
+    result = once(ext_estimator.run, **get("ext-estimator").bench_params)
     print()
     print(result.render())
     # The paper's tau=5, alpha=4 sits on the utilisation/overrun frontier

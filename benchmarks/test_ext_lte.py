@@ -1,10 +1,11 @@
 """Extension §2.3 — 3GOL over LTE vs HSPA."""
 
 from repro.experiments import ext_lte
+from repro.experiments.registry import get
 
 
 def test_ext_lte(once):
-    result = once(ext_lte.run, seeds=(0, 1, 2, 3))
+    result = once(ext_lte.run, **get("ext-lte").bench_params)
     print()
     print(result.render())
     # §2.3's claims: LTE makes 3GOL "even more compelling" and the

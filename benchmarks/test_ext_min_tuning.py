@@ -1,10 +1,11 @@
 """Ablation §5.1 — the MIN scheduler cannot be tuned into competitiveness."""
 
 from repro.experiments import ext_min_tuning
+from repro.experiments.registry import get
 
 
 def test_ext_min_tuning(once):
-    result = once(ext_min_tuning.run, repetitions=8)
+    result = once(ext_min_tuning.run, **get("ext-min-tuning").bench_params)
     print()
     print(result.render())
     # Paper: "Changing filter and/or sampling criteria was not helpful in

@@ -1,10 +1,11 @@
 """Extension §5 — the omitted MP-TCP comparison."""
 
 from repro.experiments import ext_mptcp
+from repro.experiments.registry import get
 
 
 def test_ext_mptcp(once):
-    result = once(ext_mptcp.run, seeds=(0, 1, 2, 3, 4))
+    result = once(ext_mptcp.run, **get("ext-mptcp").bench_params)
     print()
     print(result.render())
     # Paper: MP-TCP "provided no benefit" under coupled congestion

@@ -1,10 +1,11 @@
 """Extension — simultaneous 3GOL adopters sharing one cell."""
 
 from repro.experiments import ext_neighborhood
+from repro.experiments.registry import get
 
 
 def test_ext_neighborhood(once):
-    result = once(ext_neighborhood.run, seeds=(0, 1, 2))
+    result = once(ext_neighborhood.run, **get("ext-neighborhood").bench_params)
     print()
     print(result.render())
     # The flow-level counterpart of Fig. 11c: per-home benefit erodes as

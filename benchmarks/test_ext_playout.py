@@ -1,10 +1,11 @@
 """Extension §4.1.1 — playout-phase coverage."""
 
 from repro.experiments import ext_playout
+from repro.experiments.registry import get
 
 
 def test_ext_playout(once):
-    result = once(ext_playout.run, seeds=tuple(range(8)))
+    result = once(ext_playout.run, **get("ext-playout").bench_params)
     print()
     print(result.render())
     adsl = result.cells["ADSL"]

@@ -1,10 +1,11 @@
 """Fig. 1 — diurnal traffic on cellular vs wired, misaligned peaks."""
 
 from repro.experiments import fig01_diurnal
+from repro.experiments.registry import get
 
 
 def test_fig01_diurnal(once):
-    result = once(fig01_diurnal.run, seed=0, n_subscribers=1500)
+    result = once(fig01_diurnal.run, **get("fig01").bench_params)
     print()
     print(result.render())
     print(

@@ -1,17 +1,13 @@
 """Fig. 3 — aggregate 3G throughput vs number of devices."""
 
 from repro.experiments import fig03_aggregate
+from repro.experiments.registry import get
 from repro.netsim.topology import MEASUREMENT_LOCATIONS
 from repro.util.units import mbps
 
 
 def test_fig03_aggregate(once):
-    result = once(
-        fig03_aggregate.run,
-        locations=MEASUREMENT_LOCATIONS[:4],
-        repetitions=3,
-        seeds=(0, 1),
-    )
+    result = once(fig03_aggregate.run, **get("fig03").bench_params)
     print()
     print(result.render())
     # Downlink reaches up to ~14 Mbps at the best location.

@@ -1,17 +1,12 @@
 """Fig. 4 — throughput by hour of day, groups of 1/3/5 devices."""
 
 from repro.experiments import fig04_temporal
-from repro.netsim.topology import MEASUREMENT_LOCATIONS
+from repro.experiments.registry import get
 from repro.util.units import mbps
 
 
 def test_fig04_temporal(once):
-    result = once(
-        fig04_temporal.run,
-        locations=MEASUREMENT_LOCATIONS[:6],
-        hours=tuple(range(0, 24, 2)),
-        days=2,
-    )
+    result = once(fig04_temporal.run, **get("fig04").bench_params)
     print()
     print(result.render())
     # Single-device throughput can reach ~2.5 Mbps depending on the hour.

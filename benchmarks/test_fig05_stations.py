@@ -1,16 +1,13 @@
 """Fig. 5 — per-base-station throughput distributions."""
 
 from repro.experiments import fig05_stations
+from repro.experiments.registry import get
 from repro.netsim.topology import MEASUREMENT_LOCATIONS
 from repro.util.units import mbps
 
 
 def test_fig05_stations(once):
-    result = once(
-        fig05_stations.run,
-        locations=MEASUREMENT_LOCATIONS[:6],
-        days=2,
-    )
+    result = once(fig05_stations.run, **get("fig05").bench_params)
     print()
     print(result.render())
     medians = [v.median for v in result.violins.values()]

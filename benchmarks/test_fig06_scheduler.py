@@ -1,10 +1,11 @@
 """Fig. 6 — scheduler comparison (GRD vs RR vs MIN) on the 2 Mbps testbed."""
 
 from repro.experiments import fig06_scheduler
+from repro.experiments.registry import get
 
 
 def test_fig06_scheduler(once):
-    result = once(fig06_scheduler.run, phone_counts=(1, 2), repetitions=10)
+    result = once(fig06_scheduler.run, **get("fig06").bench_params)
     print()
     print(result.render())
     for quality in ("Q1", "Q2", "Q3", "Q4"):

@@ -1,10 +1,11 @@
 """Fig. 7 — pre-buffering gain vs pre-buffer amount."""
 
 from repro.experiments import fig07_prebuffer
+from repro.experiments.registry import get
 
 
 def test_fig07_prebuffer(once):
-    result = once(fig07_prebuffer.run, repetitions=4)
+    result = once(fig07_prebuffer.run, **get("fig07").bench_params)
     print()
     print(result.render())
     for location in ("loc2", "loc4"):

@@ -1,10 +1,11 @@
 """Fig. 8 — total video download-time reduction per location."""
 
 from repro.experiments import fig08_download
+from repro.experiments.registry import get
 
 
 def test_fig08_download(once):
-    result = once(fig08_download.run, repetitions=4)
+    result = once(fig08_download.run, **get("fig08").bench_params)
     print()
     print(result.render())
     values = list(result.reductions.values())

@@ -1,10 +1,11 @@
 """Fig. 9 — photo-upload times: ADSL vs one and two phones."""
 
 from repro.experiments import fig09_upload
+from repro.experiments.registry import get
 
 
 def test_fig09_upload(once):
-    result = once(fig09_upload.run, repetitions=4)
+    result = once(fig09_upload.run, **get("fig09").bench_params)
     print()
     print(result.render())
     for location in ("loc1", "loc2", "loc3", "loc4", "loc5"):

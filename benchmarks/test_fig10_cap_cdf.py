@@ -3,10 +3,11 @@
 import pytest
 
 from repro.experiments import fig10_cap_cdf
+from repro.experiments.registry import get
 
 
 def test_fig10_cap_cdf(once):
-    result = once(fig10_cap_cdf.run, n_users=5000, seed=0)
+    result = once(fig10_cap_cdf.run, **get("fig10").bench_params)
     print()
     print(result.render())
     # Paper: 40% of customers use <10% of cap; 75% use <50%.

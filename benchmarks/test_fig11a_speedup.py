@@ -3,10 +3,11 @@
 import pytest
 
 from repro.experiments import fig11a_speedup
+from repro.experiments.registry import get
 
 
 def test_fig11a_speedup(once):
-    result = once(fig11a_speedup.run, n_subscribers=2000, seed=0)
+    result = once(fig11a_speedup.run, **get("fig11a").bench_params)
     print()
     print(result.render())
     # Paper: 50% of users see >= 1.2x (ours lands a few points lower, see

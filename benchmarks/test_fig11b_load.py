@@ -3,10 +3,11 @@
 import pytest
 
 from repro.experiments import fig11b_load
+from repro.experiments.registry import get
 
 
 def test_fig11b_load(once):
-    result = once(fig11b_load.run, n_subscribers=2000, seed=0)
+    result = once(fig11b_load.run, **get("fig11b").bench_params)
     print()
     print(result.render())
     series = result.series

@@ -3,10 +3,11 @@
 import pytest
 
 from repro.experiments import fig11c_adoption
+from repro.experiments.registry import get
 
 
 def test_fig11c_adoption(once):
-    result = once(fig11c_adoption.run, n_users=3000, seed=0)
+    result = once(fig11c_adoption.run, **get("fig11c").bench_params)
     print()
     print(result.render())
     assert result.is_monotone()

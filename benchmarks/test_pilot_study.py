@@ -1,14 +1,11 @@
 """The 30-household pilot the paper announced but never reported."""
 
-from repro.pilot import PilotStudy, generate_household_workloads
+from repro.experiments import pilot_study
+from repro.experiments.registry import get
 
 
 def test_pilot_study(once):
-    def run():
-        plans = generate_household_workloads(n_households=30, seed=1)
-        return PilotStudy(plans, seed=1).run()
-
-    report = once(run)
+    report = once(pilot_study.run, **get("pilot").bench_params)
     print()
     print(report.render())
     # The fleet-level sanity the pilot would need to show before a wider

@@ -3,10 +3,11 @@
 import pytest
 
 from repro.experiments import sec21_capacity
+from repro.experiments.registry import get
 
 
 def test_sec21_capacity(once):
-    result = once(sec21_capacity.run)
+    result = once(sec21_capacity.run, **get("sec21").bench_params)
     print()
     print(result.render())
     c = result.comparison

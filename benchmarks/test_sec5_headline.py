@@ -1,10 +1,11 @@
 """§5 headline speedups (abstract/conclusions numbers)."""
 
 from repro.experiments import headline
+from repro.experiments.registry import get
 
 
 def test_sec5_headline(once):
-    result = once(headline.run, repetitions=3)
+    result = once(headline.run, **get("headline").bench_params)
     print()
     print(result.render())
     # Paper: x4 downlink and x6 uplink maxima; average transaction

@@ -1,10 +1,11 @@
 """§6 — allowance estimator backtest (tau=5, alpha=4)."""
 
 from repro.experiments import sec6_estimator
+from repro.experiments.registry import get
 
 
 def test_sec6_estimator(once):
-    result = once(sec6_estimator.run, n_users=2000, seed=0)
+    result = once(sec6_estimator.run, **get("sec6est").bench_params)
     print()
     print(result.render())
     point = result.paper_point

@@ -1,10 +1,11 @@
 """Table 2 — six locations, three devices: DSL vs 3GOL speedups."""
 
 from repro.experiments import table02_locations
+from repro.experiments.registry import get
 
 
 def test_table02_locations(once):
-    result = once(table02_locations.run, repetitions=3, seeds=(0, 1, 2))
+    result = once(table02_locations.run, **get("table02").bench_params)
     print()
     print(result.render())
     # Headline: location 1 sees the largest boosts (x2.67 down, x12.93 up).

@@ -1,11 +1,12 @@
 """Table 3 — per-device throughput by cluster size (1/3/5)."""
 
 from repro.experiments import table03_clusters
+from repro.experiments.registry import get
 from repro.util.units import mbps
 
 
 def test_table03_clusters(once):
-    result = once(table03_clusters.run, days=2)
+    result = once(table03_clusters.run, **get("table03").bench_params)
     print()
     print(result.render())
     # Paper: per-device mean decreases with cluster size, both directions

@@ -3,11 +3,12 @@
 import pytest
 
 from repro.experiments import table04_eval_locations
+from repro.experiments.registry import get
 from repro.util.units import mbps
 
 
 def test_table04_eval_locations(once):
-    result = once(table04_eval_locations.run)
+    result = once(table04_eval_locations.run, **get("table04").bench_params)
     print()
     print(result.render())
     expected = [

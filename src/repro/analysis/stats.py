@@ -43,6 +43,14 @@ class Ecdf:
             raise ValueError(f"q must be in [0, 1], got {q}")
         return float(np.quantile(self._sorted, q))
 
+    def to_dict(self) -> dict:
+        """Compact JSON summary: size plus the decile curve."""
+        grid = [i / 10.0 for i in range(11)]
+        return {
+            "n": self.n,
+            "quantiles": {f"{q:.1f}": self.quantile(q) for q in grid},
+        }
+
     def points(self) -> Tuple[List[float], List[float]]:
         """(x, F(x)) step points for plotting/printing the curve."""
         xs = self._sorted

@@ -2,99 +2,161 @@
 
 ::
 
-    python -m repro list                 # experiment catalogue
-    python -m repro run fig06            # one experiment, printed
-    python -m repro locations            # the location presets
+    python -m repro list                  # experiment catalogue
+    python -m repro run fig06             # one experiment, printed
+    python -m repro run --all --jobs 4    # everything, in parallel
+    python -m repro run fig10 --json      # structured result on stdout
+    python -m repro locations             # the location presets
     python -m repro pilot --households 30
-    python -m repro report [PATH]        # regenerate EXPERIMENTS.md
+    python -m repro report [PATH]         # regenerate EXPERIMENTS.md
 
-Experiments run at their benchmark sizes; for custom parameters import
-the modules from :mod:`repro.experiments` directly.
+Experiments run at their registered benchmark sizes (``--quick`` for the
+reduced smoke sizes); ``--seed``/``--repetitions`` override them for the
+experiments whose ``run()`` accepts those parameters. Results are cached
+in ``.repro_cache/`` keyed by (experiment id, parameters, source digest);
+``--no-cache`` bypasses the cache entirely.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
+import json
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional
 
-from repro.netsim.topology import EVALUATION_LOCATIONS, MEASUREMENT_LOCATIONS
-
-#: Experiment id -> (module name, one-line description). ``run`` calls the
-#: module's ``run()`` with defaults and prints ``result.render()``.
-EXPERIMENTS: Dict[str, Tuple[str, str]] = {
-    "fig01": ("fig01_diurnal", "diurnal wired vs mobile traffic (Fig. 1)"),
-    "fig03": ("fig03_aggregate", "aggregate 3G throughput vs devices (Fig. 3)"),
-    "fig04": ("fig04_temporal", "throughput by hour, groups of 1/3/5 (Fig. 4)"),
-    "fig05": ("fig05_stations", "per-base-station distributions (Fig. 5)"),
-    "table02": ("table02_locations", "six locations, three devices (Table 2)"),
-    "table03": ("table03_clusters", "per-device rate by cluster size (Table 3)"),
-    "fig06": ("fig06_scheduler", "GRD vs RR vs MIN schedulers (Fig. 6)"),
-    "table04": ("table04_eval_locations", "evaluation locations (Table 4)"),
-    "fig07": ("fig07_prebuffer", "pre-buffering gains (Fig. 7)"),
-    "fig08": ("fig08_download", "download-time reductions (Fig. 8)"),
-    "fig09": ("fig09_upload", "photo-upload times (Fig. 9)"),
-    "fig10": ("fig10_cap_cdf", "CDF of used cap fraction (Fig. 10)"),
-    "fig11a": ("fig11a_speedup", "speedup CDF under budget (Fig. 11a)"),
-    "fig11b": ("fig11b_load", "onloaded load vs backhaul (Fig. 11b)"),
-    "fig11c": ("fig11c_adoption", "traffic increase vs adoption (Fig. 11c)"),
-    "sec21": ("sec21_capacity", "capacity back-of-envelope (S2.1)"),
-    "sec6est": ("sec6_estimator", "allowance-estimator backtest (S6)"),
-    "headline": ("headline", "S5 headline speedups"),
-    "ext-lte": ("ext_lte", "extension: 3GOL over LTE (S2.3)"),
-    "ext-mptcp": ("ext_mptcp", "extension: the omitted MP-TCP comparison"),
-    "ext-playout": ("ext_playout", "extension: playout-phase coverage"),
-    "ext-dslam": ("ext_dslam", "extension: DSLAM oversubscription"),
-    "ext-estimator": ("ext_estimator", "ablation: estimator design space"),
-    "ext-neighborhood": (
-        "ext_neighborhood",
-        "extension: adopters sharing one cell",
-    ),
-    "ext-duplication": ("ext_duplication", "ablation: endgame duplication"),
-    "ext-min-tuning": ("ext_min_tuning", "ablation: tuning the MIN scheduler"),
-}
+from repro.experiments import registry, runner
+from repro.netsim.topology import (
+    EVALUATION_LOCATIONS,
+    LocationProfile,
+    MEASUREMENT_LOCATIONS,
+)
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    width = max(len(key) for key in EXPERIMENTS)
-    for key, (_, description) in EXPERIMENTS.items():
-        print(f"{key:<{width}}  {description}")
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = registry.all_experiments()
+    if args.json:
+        catalogue = [
+            {
+                "id": spec.id,
+                "description": spec.description,
+                "title": spec.title,
+                "paper_ref": spec.paper_ref,
+                "bench_params": registry.jsonable(dict(spec.bench_params)),
+                "quick_params": registry.jsonable(dict(spec.quick_params)),
+            }
+            for spec in specs
+        ]
+        print(json.dumps(catalogue, indent=2))
+        return 0
+    width = max(len(spec.id) for spec in specs)
+    for spec in specs:
+        print(f"{spec.id:<{width}}  {spec.description}")
     return 0
+
+
+def _passthrough_overrides(
+    spec: registry.ExperimentSpec, args: argparse.Namespace
+) -> Dict[str, Any]:
+    """Map ``--seed``/``--repetitions`` onto the spec's parameters.
+
+    ``--seed`` feeds a ``seed`` parameter directly, or a ``seeds``
+    parameter as a one-element tuple. Raises ``ValueError`` naming the
+    experiment when it accepts neither spelling.
+    """
+    overrides: Dict[str, Any] = {}
+    if args.seed is not None:
+        if spec.accepts("seed"):
+            overrides["seed"] = args.seed
+        elif spec.accepts("seeds"):
+            overrides["seeds"] = (args.seed,)
+        else:
+            raise ValueError(
+                f"experiment {spec.id!r} does not accept --seed"
+            )
+    if args.repetitions is not None:
+        if spec.accepts("repetitions"):
+            overrides["repetitions"] = args.repetitions
+        else:
+            raise ValueError(
+                f"experiment {spec.id!r} does not accept --repetitions"
+            )
+    return overrides
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    entry = EXPERIMENTS.get(args.experiment)
-    if entry is None:
+    available = registry.experiment_ids()
+    if args.all:
+        ids = list(available)
+    else:
+        ids = args.experiments
+    if not ids:
         print(
-            f"unknown experiment {args.experiment!r}; "
-            "see `python -m repro list`",
+            "no experiments given; name some ids or pass --all",
             file=sys.stderr,
         )
         return 2
-    module = importlib.import_module(f"repro.experiments.{entry[0]}")
-    result = module.run()
-    print(result.render())
-    return 0
+    unknown = [i for i in ids if i not in available]
+    if unknown:
+        print(
+            f"unknown experiment {unknown[0]!r}; available: "
+            + ", ".join(available),
+            file=sys.stderr,
+        )
+        return 2
+
+    overrides: Dict[str, Dict[str, Any]] = {}
+    for experiment_id in ids:
+        spec = registry.get(experiment_id)
+        try:
+            extra = _passthrough_overrides(spec, args)
+        except ValueError as error:
+            if not args.all:
+                print(str(error), file=sys.stderr)
+                return 2
+            extra = {}  # --all: apply only where accepted
+        if extra:
+            overrides[experiment_id] = extra
+
+    cache = None if args.no_cache else runner.ResultCache()
+    outcomes = runner.run_experiments(
+        ids,
+        jobs=args.jobs,
+        quick=args.quick,
+        overrides=overrides,
+        cache=cache,
+    )
+    if args.json:
+        records = [outcome.to_dict() for outcome in outcomes]
+        payload = records[0] if len(records) == 1 and not args.all else records
+        print(json.dumps(payload, indent=2))
+    else:
+        for outcome in outcomes:
+            if outcome.ok:
+                print(outcome.rendered)
+            else:
+                print(
+                    f"[{outcome.experiment_id}] FAILED\n{outcome.error}",
+                    file=sys.stderr,
+                )
+    return 0 if all(outcome.ok for outcome in outcomes) else 1
+
+
+def _print_locations(
+    heading: str, locations: Iterable[LocationProfile]
+) -> None:
+    print(heading)
+    for location in locations:
+        print(
+            f"  {location.name:<10s} "
+            f"{location.adsl_down_bps / 1e6:5.2f}/"
+            f"{location.adsl_up_bps / 1e6:5.2f} Mbps  "
+            f"{location.signal_dbm:4.0f} dBm  {location.description}"
+        )
 
 
 def _cmd_locations(_args: argparse.Namespace) -> int:
-    print("Measurement locations (Table 2):")
-    for location in MEASUREMENT_LOCATIONS:
-        print(
-            f"  {location.name:<10s} "
-            f"{location.adsl_down_bps / 1e6:5.2f}/"
-            f"{location.adsl_up_bps / 1e6:5.2f} Mbps  "
-            f"{location.signal_dbm:4.0f} dBm  {location.description}"
-        )
-    print("Evaluation locations (Table 4):")
-    for location in EVALUATION_LOCATIONS:
-        print(
-            f"  {location.name:<10s} "
-            f"{location.adsl_down_bps / 1e6:5.2f}/"
-            f"{location.adsl_up_bps / 1e6:5.2f} Mbps  "
-            f"{location.signal_dbm:4.0f} dBm  {location.description}"
-        )
+    _print_locations("Measurement locations (Table 2):", MEASUREMENT_LOCATIONS)
+    _print_locations("Evaluation locations (Table 4):", EVALUATION_LOCATIONS)
     return 0
 
 
@@ -110,9 +172,11 @@ def _cmd_pilot(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.experiments.report import main as report_main
+    from repro.experiments.report import write_report
 
-    return report_main(["report", args.output])
+    cache = None if args.no_cache else runner.ResultCache()
+    write_report(args.output, jobs=args.jobs, cache=cache)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,12 +190,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the experiment catalogue").set_defaults(
-        func=_cmd_list
+    list_parser = sub.add_parser(
+        "list", help="list the experiment catalogue"
     )
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the catalogue as JSON",
+    )
+    list_parser.set_defaults(func=_cmd_list)
 
-    run_parser = sub.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", help="experiment id (see list)")
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (see list)",
+    )
+    run_parser.add_argument(
+        "--all",
+        action="store_true",
+        help="run every registered experiment",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes (default: 1)",
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print structured results as JSON instead of tables",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the on-disk result cache",
+    )
+    run_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use each experiment's reduced smoke-test sizes",
+    )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the seed (experiments accepting seed/seeds)",
+    )
+    run_parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="override repetitions (experiments accepting it)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     sub.add_parser(
@@ -150,6 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument(
         "output", nargs="?", default="EXPERIMENTS.md"
+    )
+    report_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes (default: 1)",
+    )
+    report_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the on-disk result cache",
     )
     report_parser.set_defaults(func=_cmd_report)
     return parser

@@ -20,6 +20,7 @@ from repro.core.items import Transaction, TransferItem
 from repro.core.scheduler import TransactionRunner
 from repro.core.scheduler.greedy import GreedyPolicy
 from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
 from repro.netsim.fluid import FluidNetwork
 from repro.netsim.latency import RttModel
 from repro.netsim.link import Link, PiecewiseLink
@@ -50,6 +51,10 @@ class DuplicationAblationResult:
     """Both regimes."""
 
     cells: Dict[str, DuplicationCell]
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
 
     def render(self) -> str:
         """One row per regime."""
@@ -155,6 +160,23 @@ def _degrading_regime(seeds: Sequence[int]) -> DuplicationCell:
     )
 
 
+@experiment(
+    "ext-duplication",
+    title="Ablation §4.1.1 — endgame duplication",
+    description="ablation: endgame duplication",
+    paper_ref="§4.1.1",
+    claims=(
+        "Paper: duplication bounded by (N-1)*S_max, 'generally much "
+        "smaller'.\n"
+        "Measured: on steady paths duplication costs <1 MB and buys "
+        "~nothing; when a path degrades mid-transaction it cuts the "
+        "transaction time by ~85% — it is cheap insurance against "
+        "exactly the radio behaviour §3 documents."
+    ),
+    bench_params={"seeds": (0, 1, 2, 3)},
+    quick_params={"seeds": (0,)},
+    order=250,
+)
 def run(seeds: Sequence[int] = (0, 1, 2, 3)) -> DuplicationAblationResult:
     """Both regimes with/without duplication."""
     return DuplicationAblationResult(

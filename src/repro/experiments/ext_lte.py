@@ -19,6 +19,7 @@ from typing import Dict, Tuple
 from repro.core.items import Transaction, TransferItem
 from repro.core.scheduler import TransactionRunner, make_policy
 from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
 from repro.netsim.cellular import (
     HspaParameters,
     LTE_PARAMETERS,
@@ -62,6 +63,10 @@ class LteComparisonResult:
     def speedup(self, generation: str) -> float:
         """Total-download speedup over ADSL alone."""
         return self.adsl_alone_s / self.cells[generation].total_time_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
 
     def render(self) -> str:
         """The comparison table."""
@@ -144,6 +149,21 @@ def _run_one(
     return totals, prebuffers, busy
 
 
+@experiment(
+    "ext-lte",
+    title="Extension §2.3 — 3GOL over LTE",
+    description="extension: 3GOL over LTE (S2.3)",
+    paper_ref="§2.3",
+    claims=(
+        "Paper (prose only): with 4G 'the period of powerboosting "
+        "time might be extremely short'.\n"
+        "Measured: LTE halves the download again over HSPA-3GOL and "
+        "shrinks the cellular-occupancy window by >2x."
+    ),
+    bench_params={"seeds": (0, 1, 2, 3)},
+    quick_params={"seeds": (0,)},
+    order=180,
+)
 def run(seeds=(0, 1, 2, 3)) -> LteComparisonResult:
     """Compare ADSL alone, HSPA 3GOL and LTE 3GOL."""
     adsl_totals, adsl_prebuffers, _ = _run_one(

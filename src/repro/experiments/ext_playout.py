@@ -22,6 +22,7 @@ from repro.core.playback import PlayoutSimulator, completion_times_from_result
 from repro.core.scheduler import TransactionRunner, make_policy
 from repro.core.scheduler.deadline import attach_deadlines
 from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
 from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
 from repro.util.stats import RunningStats
 from repro.util.units import kbps, mbps
@@ -70,6 +71,10 @@ class PlayoutComparisonResult:
 
     cells: Dict[str, PlayoutCell]
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
+
     def render(self) -> str:
         """The comparison table."""
         rows = [
@@ -100,6 +105,22 @@ class PlayoutComparisonResult:
         )
 
 
+@experiment(
+    "ext-playout",
+    title="Extension §4.1.1 — playout-phase coverage",
+    description="extension: playout-phase coverage",
+    paper_ref="§4.1.1",
+    claims=(
+        "Paper (future work): extend the scheduler over the playout "
+        "phase.\n"
+        "Measured: a 1.5 Mbps rendition on a 1.1 Mbps line stalls "
+        "~16 times unassisted; 3GOL (GRD or the deadline-aware DLN) "
+        "plays it smoothly with ~2x faster startup."
+    ),
+    bench_params={"seeds": (0, 1, 2, 3, 4, 5, 6, 7)},
+    quick_params={"seeds": (0, 1)},
+    order=200,
+)
 def run(
     seeds: Sequence[int] = tuple(range(8)),
     prebuffer_fraction: float = 0.1,

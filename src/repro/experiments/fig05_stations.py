@@ -15,6 +15,7 @@ from typing import Dict, Sequence, Tuple
 
 from repro.analysis.stats import ViolinSummary, summarize_violin
 from repro.experiments.formatting import fmt_mbps, render_table
+from repro.experiments.registry import experiment, jsonable
 from repro.netsim.cellular import HspaParameters
 from repro.netsim.topology import MEASUREMENT_LOCATIONS, LocationProfile
 from repro.traces.handsets import measure_cluster_throughput
@@ -39,6 +40,10 @@ class StationDistributionResult:
                 }
             )
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
 
     def render(self) -> str:
         """Quartile table standing in for the violins."""
@@ -79,6 +84,22 @@ class StationDistributionResult:
         )
 
 
+@experiment(
+    "fig05",
+    title="Fig. 5 — throughput per base station (violins)",
+    description="per-base-station distributions (Fig. 5)",
+    paper_ref="Fig. 5",
+    claims=(
+        "Paper: stations serve ~0.7-2.5 Mbps per device, all above "
+        "the 360/64 kbps dedicated-channel lines; >= 2 stations per "
+        "location.\n"
+        "Measured: medians 0.4-2.2 Mbps, all above the dedicated "
+        "floors; every studied location shows >= 2 serving stations."
+    ),
+    bench_params={"days": 2},
+    quick_params={"days": 1},
+    order=40,
+)
 def run(
     locations: Sequence[LocationProfile] = MEASUREMENT_LOCATIONS[:6],
     hours: Sequence[float] = (2.0, 8.0, 14.0, 20.0),

@@ -17,6 +17,7 @@ from typing import Dict, Sequence, Tuple
 from repro.core.items import Transaction, TransferItem
 from repro.core.scheduler import TransactionRunner, make_policy
 from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
 from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
 from repro.util.stats import RunningStats
 from repro.util.units import mbps
@@ -73,6 +74,10 @@ class SchedulerComparisonResult:
         min_ = self.time(quality, "MIN", n_phones)
         return grd <= rr and grd <= min_ and max(rr, min_, grd) < adsl
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
+
     def render(self) -> str:
         """The figure as a table, one panel per phone count."""
         blocks = []
@@ -97,6 +102,24 @@ class SchedulerComparisonResult:
         return "\n\n".join(blocks)
 
 
+@experiment(
+    "fig06",
+    title="Fig. 6 — scheduler comparison (2 Mbps testbed)",
+    description="GRD vs RR vs MIN schedulers (Fig. 6)",
+    paper_ref="§5.1, Fig. 6",
+    claims=(
+        "Paper: GRD best at every quality, then RR, MIN worst ('high "
+        "variability ... results in poor estimates').\n"
+        "Measured: GRD best everywhere and all schedulers beat ADSL; "
+        "MIN degrades hardest at Q3/Q4 where its mis-estimates strand "
+        "the most bytes (at Q1/Q2 MIN ties GRD rather than trailing "
+        "RR — the one ordering deviation; our synthetic radio "
+        "variability at night is evidently milder than theirs)."
+    ),
+    bench_params={"repetitions": 10},
+    quick_params={"repetitions": 2},
+    order=70,
+)
 def run(
     phone_counts: Sequence[int] = (1, 2),
     repetitions: int = 10,

@@ -16,6 +16,7 @@ from repro.analysis.load import (
 )
 from repro.analysis.stats import Ecdf
 from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
 from repro.traces.dslam import generate_dslam_trace
 
 
@@ -28,6 +29,10 @@ class BudgetedSpeedupResult:
     fraction_at_least_2_0: float
     max_speedup: float
     mean_onloaded_mb: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
 
     def render(self) -> str:
         """CDF sampled on the figure's x-range plus the claims."""
@@ -51,6 +56,24 @@ class BudgetedSpeedupResult:
         return table + claims
 
 
+@experiment(
+    "fig11a",
+    title="Fig. 11a — speedup CDF under 40 MB/day",
+    description="speedup CDF under budget (Fig. 11a)",
+    paper_ref="Fig. 11a",
+    claims=(
+        "Paper: >=20% speedup for 50% of users; 5% reach x2; CDF ends "
+        "~2.6.\n"
+        "Measured: 5.5% reach x2 and the CDF ends at 2.6 (both on the "
+        "nose); 44% reach >=1.2x vs the paper's 50% — the paper's own "
+        "median demand (6 videos x ~50 MB) sits slightly above what a "
+        "40 MB budget can boost by 20%, so the 50% claim is only "
+        "attainable with a lighter demand distribution."
+    ),
+    bench_params={"n_subscribers": 2000, "seed": 0},
+    quick_params={"n_subscribers": 300},
+    order=130,
+)
 def run(
     n_subscribers: int = 2000,
     seed: int = 0,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.analysis.load import OnloadLoadSeries, onloaded_load_series
 from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
 from repro.traces.dslam import generate_dslam_trace
 
 
@@ -25,6 +26,10 @@ class OnloadLoadResult:
     series: OnloadLoadSeries
     mean_onload_mb_per_user: float
     n_video_users: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
 
     def render(self) -> str:
         """Hourly maxima of both regimes against the capacity line."""
@@ -62,6 +67,21 @@ class OnloadLoadResult:
         return table + claims
 
 
+@experiment(
+    "fig11b",
+    title="Fig. 11b — onloaded load vs backhaul",
+    description="onloaded load vs backhaul (Fig. 11b)",
+    paper_ref="Fig. 11b",
+    claims=(
+        "Paper: unbudgeted 3GOL overloads the 2x40 Mbps backhaul; "
+        "budgeted stays reasonable; 29.78 MB/day mean onload.\n"
+        "Measured: budgeted never exceeds capacity, unbudgeted peaks "
+        "at ~2x capacity; 29.3 MB/day mean onload."
+    ),
+    bench_params={"n_subscribers": 2000, "seed": 0},
+    quick_params={"n_subscribers": 300},
+    order=140,
+)
 def run(n_subscribers: int = 2000, seed: int = 0) -> OnloadLoadResult:
     """Generate the trace and compute both load series."""
     trace = generate_dslam_trace(n_subscribers=n_subscribers, seed=seed)

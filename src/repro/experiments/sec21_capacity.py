@@ -16,6 +16,7 @@ from repro.analysis.capacity import (
     compare_capacity,
 )
 from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
 
 
 @dataclass(frozen=True)
@@ -23,6 +24,10 @@ class CapacityResult:
     """The comparison under the paper's assumptions."""
 
     comparison: CapacityComparison
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
 
     def render(self) -> str:
         """The calculation's lines, paper-style."""
@@ -49,6 +54,19 @@ class CapacityResult:
         )
 
 
+@experiment(
+    "sec21",
+    title="§2.1 — back-of-envelope capacity comparison",
+    description="capacity back-of-envelope (S2.1)",
+    paper_ref="§2.1",
+    claims=(
+        "Paper: 4375 subscribers/cell -> 875 ADSL lines -> 5.863 Gbps "
+        "vs a 40-50 Mbps cell backhaul: 1-2 orders of magnitude.\n"
+        "Measured: identical arithmetic (differences <2% from the "
+        "paper's rounding)."
+    ),
+    order=160,
+)
 def run(
     assumptions: CellAreaAssumptions = CellAreaAssumptions(),
 ) -> CapacityResult:

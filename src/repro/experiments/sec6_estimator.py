@@ -16,6 +16,7 @@ from typing import Dict, Sequence, Tuple
 
 from repro.core.allowance import EstimatorEvaluation, evaluate_estimator
 from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
 from repro.traces.mno import generate_mno_dataset
 
 DEFAULT_ALPHAS: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 6.0)
@@ -47,6 +48,10 @@ class EstimatorResult:
         overs = [self.evaluations[a].overrun_days_per_month for a in alphas]
         return all(o1 >= o2 - 1e-9 for o1, o2 in zip(overs, overs[1:]))
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
+
     def render(self) -> str:
         """The trade-off table."""
         rows = []
@@ -73,6 +78,22 @@ class EstimatorResult:
         )
 
 
+@experiment(
+    "sec6est",
+    title="§6 — allowance estimator (tau=5, alpha=4)",
+    description="allowance-estimator backtest (S6)",
+    paper_ref="§6",
+    claims=(
+        "Paper: ~65% of free capacity usable with expected overrun "
+        "under 1 day/month.\n"
+        "Measured: 74% of free capacity, 0.3 overrun days/month; the "
+        "utilisation/overrun trade-off is monotone in alpha as the "
+        "estimator intends."
+    ),
+    bench_params={"n_users": 2000, "seed": 0},
+    quick_params={"n_users": 300},
+    order=170,
+)
 def run(
     n_users: int = 2000,
     months: int = 12,

@@ -112,6 +112,21 @@ class PilotReport:
                     count += 1
         return count
 
+    def to_dict(self) -> dict:
+        """JSON-ready fleet summary (``repro run pilot --json``)."""
+        return {
+            "households": len(self.outcomes),
+            "transactions": sum(len(o.events) for o in self.outcomes),
+            "mean_video_speedup": self.mean_video_speedup,
+            "mean_upload_speedup": self.mean_upload_speedup,
+            "boosted_event_fraction": self.boosted_event_fraction,
+            "mean_onloaded_mb_per_household": (
+                self.mean_onloaded_mb_per_household
+            ),
+            "phones_over_budget": self.phones_over_budget(),
+            "daily_budget_bytes": self.daily_budget_bytes,
+        }
+
     def render(self) -> str:
         """The operator's summary."""
         video = RunningStats()

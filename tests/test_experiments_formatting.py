@@ -50,9 +50,11 @@ class TestReportScaffolding:
         assert "Claims here" in text
         assert "```\ntable body\n```" in text
 
-    def test_cli_and_report_cover_same_extensions(self):
-        # Guard against adding an experiment to one surface only.
-        from repro.cli import EXPERIMENTS
+    def test_registry_covers_extensions(self):
+        # CLI, report and benchmarks all read the one registry, so an
+        # experiment registered anywhere is visible everywhere.
+        from repro.experiments import registry
 
-        assert "ext-neighborhood" in EXPERIMENTS
-        assert "ext-playout" in EXPERIMENTS
+        ids = registry.experiment_ids()
+        assert "ext-neighborhood" in ids
+        assert "ext-playout" in ids
