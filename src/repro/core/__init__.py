@@ -21,8 +21,10 @@ from repro.core.items import (
     items_from_sizes,
 )
 from repro.core.scheduler import (
+    DegradationEvent,
     GreedyPolicy,
     MinTimePolicy,
+    RetryPolicy,
     RoundRobinPolicy,
     TransactionResult,
     TransactionRunner,
@@ -39,6 +41,7 @@ from repro.core.permits import Permit, PermitServer
 from repro.core.discovery import DiscoveryRegistry, ServiceRecord
 from repro.core.mobile import MobileComponent, OperatingMode
 from repro.core.proxy import HlsAwareProxy, VideoDownloadReport
+from repro.core.resilience import TransferGuard, bind_fault_schedule
 from repro.core.uploader import MultipartUploader, UploadReport
 from repro.core.session import DEFAULT_DAILY_BUDGET_BYTES, OnloadSession
 
@@ -47,8 +50,10 @@ __all__ = [
     "Transaction",
     "TransferItem",
     "items_from_sizes",
+    "DegradationEvent",
     "GreedyPolicy",
     "MinTimePolicy",
+    "RetryPolicy",
     "RoundRobinPolicy",
     "TransactionResult",
     "TransactionRunner",
@@ -66,6 +71,8 @@ __all__ = [
     "OperatingMode",
     "HlsAwareProxy",
     "VideoDownloadReport",
+    "TransferGuard",
+    "bind_fault_schedule",
     "MultipartUploader",
     "UploadReport",
     "DEFAULT_DAILY_BUDGET_BYTES",

@@ -72,20 +72,33 @@ class DiscoveryRegistry:
         """
         return self._records.pop(device_name, None) is not None
 
+    def expire(self, now: float) -> List[str]:
+        """Sweep out every record that lapsed by ``now``.
+
+        :meth:`browse` prunes lazily as a side effect of reads; this is
+        the explicit sweep, so Φ shrinks deterministically when an
+        advertisement lapses even if nobody browses (the session calls
+        it before building the multipath set). Returns the names of the
+        devices whose records were dropped, sorted.
+        """
+        expired = sorted(
+            name
+            for name, record in self._records.items()
+            if record.expires_at() <= now
+        )
+        for name in expired:
+            del self._records[name]
+        return expired
+
     def browse(self, now: float) -> List[ServiceRecord]:
         """Snapshot of live advertisements at ``now`` — the admissible set Φ.
 
         Expired records are dropped from the registry as a side effect,
-        like an mDNS cache aging out.
+        like an mDNS cache aging out (the explicit form is
+        :meth:`expire`).
         """
-        live = []
-        for name in list(self._records):
-            record = self._records[name]
-            if record.expires_at() <= now:
-                del self._records[name]
-            else:
-                live.append(record)
-        return sorted(live, key=lambda r: r.device_name)
+        self.expire(now)
+        return sorted(self._records.values(), key=lambda r: r.device_name)
 
     def lookup(self, device_name: str, now: float) -> Optional[ServiceRecord]:
         """A single device's live record, or ``None``."""

@@ -13,7 +13,7 @@ availability on the Wi-Fi network."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.util.validate import check_fraction, check_positive
 
@@ -57,10 +57,30 @@ class PermitServer:
         )
         self.permit_ttl = check_positive("permit_ttl", permit_ttl)
         self._permits: Dict[str, Permit] = {}
+        self._revocation_listeners: List[Callable[[str], None]] = []
         #: Grant/deny counters for observability.
         self.granted_count = 0
         self.denied_count = 0
         self.revoked_count = 0
+
+    def subscribe_revocations(
+        self, callback: Callable[[str], None]
+    ) -> Callable[[], None]:
+        """Register ``callback(device_name)`` to fire on each revocation.
+
+        This is how an in-flight transfer learns its permit was pulled
+        (the prototype's backend pushes the revocation to the device).
+        Returns an unsubscribe callable; unsubscribing twice is a no-op.
+        """
+        self._revocation_listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._revocation_listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     def request_permit(
         self, device_name: str, cell_name: str, now: float
@@ -104,6 +124,8 @@ class PermitServer:
             return False
         permit.revoked = True
         self.revoked_count += 1
+        for listener in list(self._revocation_listeners):
+            listener(device_name)
         return True
 
     def revoke_cell(self, device_names) -> int:

@@ -10,11 +10,14 @@ segment list into a transaction, and hands it to the multipath scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.items import Direction, Transaction, TransferItem
 from repro.core.scheduler import TransactionRunner, make_policy
-from repro.core.scheduler.runner import TransactionResult
+from repro.core.scheduler.runner import RetryPolicy, TransactionResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.resilience import TransferGuard
 from repro.netsim.fluid import FluidNetwork
 from repro.netsim.path import NetworkPath
 from repro.web.client import SequentialHttpClient
@@ -85,12 +88,18 @@ class HlsAwareProxy:
         policy_name: str = "GRD",
         prebuffer_fraction: Optional[float] = 0.2,
         quality_label: str = "",
+        guard: Optional["TransferGuard"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        stall_timeout_s: Optional[float] = None,
     ) -> VideoDownloadReport:
         """Play one video through the proxy.
 
         ``paths`` is the full multipath set (wired + admissible phones);
         ``prebuffer_fraction`` is the player's pre-buffer as a fraction of
         the video duration (None skips the pre-buffer measurement).
+        ``guard`` (a :class:`~repro.core.resilience.TransferGuard`) makes
+        the download react mid-flight to permit revocations and cap
+        exhaustion, degrading to the surviving paths.
         """
         playlist, playlist_time = self.fetch_playlist(playlist_uri)
         items = segments_to_items(playlist)
@@ -98,9 +107,17 @@ class HlsAwareProxy:
             items, direction=Direction.DOWNLOAD, name=playlist_uri
         )
         runner = TransactionRunner(
-            self.network, list(paths), make_policy(policy_name)
+            self.network,
+            list(paths),
+            make_policy(policy_name),
+            retry_policy=retry_policy,
+            stall_timeout_s=stall_timeout_s,
         )
+        if guard is not None:
+            guard.attach(runner, paths)
         result = runner.run(transaction)
+        if guard is not None:
+            guard.finalize(result)
         prebuffer_time: Optional[float] = None
         if prebuffer_fraction is not None:
             needed = playlist.segments_for_prebuffer(prebuffer_fraction)

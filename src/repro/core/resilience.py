@@ -1,0 +1,195 @@
+"""Mid-transfer reaction to revocation, cap exhaustion and churn.
+
+The prototype's session layer must live with authority changing *while a
+transaction runs*: the operator revokes a permit when congestion is
+detected (§2.4), a phone's daily cap runs out mid-upload (§6), phones
+flap in and out of Wi-Fi range (§3). This module provides the two pieces
+that tie those signals to the scheduler machinery:
+
+* :class:`TransferGuard` — attached by the proxy / uploader to a
+  :class:`~repro.core.scheduler.runner.TransactionRunner`, it meters
+  cellular bytes incrementally as items complete, drains a path whose
+  cap tracker runs dry, and aborts a path whose permit is revoked,
+  degrading the transfer gracefully to the remaining (ultimately
+  ADSL-only) set while recording structured
+  :class:`~repro.core.scheduler.runner.DegradationEvent` entries;
+* :func:`bind_fault_schedule` — arms a seeded
+  :class:`~repro.netsim.faults.FaultSchedule` against a runner, mapping
+  effective down/up transitions to ``remove_path`` / ``add_path``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.mobile import MobileComponent
+from repro.core.permits import PermitServer
+from repro.core.scheduler.runner import (
+    ItemRecord,
+    TransactionResult,
+    TransactionRunner,
+)
+from repro.netsim.faults import FaultEvent, FaultSchedule
+from repro.netsim.fluid import FluidNetwork
+from repro.netsim.path import NetworkPath
+
+
+class TransferGuard:
+    """Watches permits and caps for the duration of one transfer.
+
+    Lifecycle: build one per transfer, :meth:`attach` it to the runner
+    before the transaction starts, :meth:`finalize` after it completes.
+    While attached it
+
+    * meters every completed item's bytes into the owning phone's
+      :class:`~repro.core.captracker.CapTracker` (incremental metering —
+      the pre-churn code metered only after the whole transaction);
+    * **drains** a cellular path the moment its tracker's quota runs dry
+      (the in-flight copy may finish, mirroring the prototype, which
+      "does not abort an in-flight transfer");
+    * **aborts** a cellular path the moment the
+      :class:`~repro.core.permits.PermitServer` revokes its device's
+      permit (an operator order: the radio must go quiet now).
+
+    Either way the transfer degrades gracefully: remaining items flow
+    over the surviving paths, down to ADSL-only, and each reaction lands
+    in the runner's degradation log.
+    """
+
+    def __init__(
+        self,
+        components: Mapping[str, MobileComponent],
+        permit_server: Optional[PermitServer] = None,
+        network: Optional[FluidNetwork] = None,
+    ) -> None:
+        self.components = dict(components)
+        self.permit_server = permit_server
+        self.network = network
+        self._runner: Optional[TransactionRunner] = None
+        self._paths: List[NetworkPath] = []
+        self._metered: Dict[str, float] = {}
+        self._unsubscribe: Optional[Callable[[], None]] = None
+        self._chained: Optional[Callable[[ItemRecord], None]] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _component_for(self, path: NetworkPath) -> Optional[MobileComponent]:
+        if path.device is None:
+            return None
+        return self.components.get(path.device.name)
+
+    def attach(
+        self, runner: TransactionRunner, paths: Sequence[NetworkPath]
+    ) -> None:
+        """Bind to ``runner`` for the coming transaction."""
+        if self._runner is not None:
+            raise RuntimeError("TransferGuard instances are single-use")
+        self._runner = runner
+        self._paths = list(paths)
+        self._metered = {path.name: 0.0 for path in self._paths}
+        if self.network is None:
+            self.network = runner.network
+        self._chained = runner.on_item_complete
+        runner.on_item_complete = self._on_item_complete
+        if self.permit_server is not None:
+            self._unsubscribe = self.permit_server.subscribe_revocations(
+                self._on_permit_revoked
+            )
+
+    def _now(self) -> float:
+        assert self.network is not None
+        return self.network.time
+
+    # ------------------------------------------------------------------
+    # Reactions
+    # ------------------------------------------------------------------
+    def _on_permit_revoked(self, device_name: str) -> None:
+        assert self._runner is not None
+        for path in self._paths:
+            if path.device is None or path.device.name != device_name:
+                continue
+            self._runner.remove_path(
+                path.name,
+                drain=False,
+                kind="permit-revoked",
+                detail=f"backend revoked {device_name}'s permit",
+            )
+
+    def _on_item_complete(self, record: ItemRecord) -> None:
+        assert self._runner is not None
+        path = next(
+            (p for p in self._paths if p.name == record.path_name), None
+        )
+        if path is not None:
+            component = self._component_for(path)
+            if component is not None:
+                now = self._now()
+                component.record_transfer(record.size_bytes, now)
+                self._metered[path.name] += record.size_bytes
+                tracker = component.cap_tracker
+                if tracker is not None and not tracker.may_advertise(now):
+                    self._runner.remove_path(
+                        path.name,
+                        drain=True,
+                        kind="cap-exhausted",
+                        detail=(
+                            f"{path.device.name} exhausted today's quota"
+                        ),
+                    )
+        if self._chained is not None:
+            self._chained(record)
+
+    # ------------------------------------------------------------------
+    # Settlement
+    # ------------------------------------------------------------------
+    def finalize(self, result: TransactionResult) -> None:
+        """True-up metering once the transaction is over.
+
+        Incremental metering counts winning copies only; the bytes moved
+        by aborted duplicates and fault-killed partial transfers are in
+        ``result.path_bytes`` — meter the difference so the cap trackers
+        see every cellular byte, exactly as the post-hoc metering did.
+        """
+        now = self._now()
+        for path in self._paths:
+            component = self._component_for(path)
+            if component is None:
+                continue
+            total = result.path_bytes.get(path.name, 0.0)
+            extra = total - self._metered.get(path.name, 0.0)
+            if extra > 1e-9:
+                component.record_transfer(extra, now)
+                self._metered[path.name] = total
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+
+def bind_fault_schedule(
+    runner: TransactionRunner,
+    schedule: FaultSchedule,
+    horizon: float,
+    network: Optional[FluidNetwork] = None,
+) -> List[FaultEvent]:
+    """Arm ``schedule`` so its transitions drive ``runner`` membership.
+
+    Every effective ``down`` transition becomes ``remove_path`` and
+    every ``up`` becomes ``add_path`` (re-join); transitions for targets
+    the runner does not know are ignored, and both calls are idempotent,
+    so overlapping schedules compose safely. Returns the armed events.
+    """
+    network = network or runner.network
+    known = {worker.path.name for worker in runner._workers}
+
+    def on_down(event: FaultEvent) -> None:
+        if event.target in known:
+            runner.remove_path(
+                event.target, kind="path-fault", detail=event.kind
+            )
+
+    def on_up(event: FaultEvent) -> None:
+        if event.target in known:
+            runner.add_path(event.target)
+
+    return schedule.arm(network, on_down, on_up, horizon=horizon)

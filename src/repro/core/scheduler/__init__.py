@@ -13,7 +13,11 @@ Three policies, matching the paper's comparison:
 
 :class:`~repro.core.scheduler.runner.TransactionRunner` executes a
 transaction under a policy on the fluid simulator and reports timings,
-per-path byte usage and duplication waste.
+per-path byte usage and duplication waste — plus the churn-tolerance
+layer: dynamic path membership, bounded retries with exponential
+backoff (:class:`~repro.core.scheduler.runner.RetryPolicy`), a
+per-flow stall watchdog, and structured
+:class:`~repro.core.scheduler.runner.DegradationEvent` logging.
 """
 
 from repro.core.scheduler.base import (
@@ -26,7 +30,10 @@ from repro.core.scheduler.greedy import GreedyPolicy
 from repro.core.scheduler.roundrobin import RoundRobinPolicy
 from repro.core.scheduler.mintime import MinTimePolicy
 from repro.core.scheduler.runner import (
+    DegradationEvent,
+    IMMEDIATE_RETRY,
     ItemRecord,
+    RetryPolicy,
     TransactionResult,
     TransactionRunner,
 )
@@ -60,7 +67,10 @@ __all__ = [
     "GreedyPolicy",
     "RoundRobinPolicy",
     "MinTimePolicy",
+    "DegradationEvent",
+    "IMMEDIATE_RETRY",
     "ItemRecord",
+    "RetryPolicy",
     "TransactionResult",
     "TransactionRunner",
     "POLICIES",

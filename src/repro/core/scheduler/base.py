@@ -35,13 +35,22 @@ class PathWorker:
     #: Bytes fully delivered over this path within the transaction.
     completed_bytes: float = 0.0
     #: Set when the path failed mid-transaction (phone left the Wi-Fi,
-    #: radio lost): the runner stops dispatching to it.
+    #: radio lost): the runner stops dispatching to it. A removed path
+    #: may later re-join (see ``TransactionRunner.add_path``).
     disabled: bool = False
+    #: Set while the path drains: its in-flight copy may finish but no
+    #: new work is dispatched; once idle the worker becomes disabled.
+    draining: bool = False
 
     @property
     def is_idle(self) -> bool:
         """True when the path has no transfer in flight."""
         return self.current_item is None
+
+    @property
+    def available(self) -> bool:
+        """True when the runner may dispatch new work to this path."""
+        return not self.disabled and not self.draining
 
 
 @dataclass(frozen=True)
@@ -110,3 +119,15 @@ class SchedulingPolicy:
         raise NotImplementedError(
             f"{type(self).__name__} cannot recover from a path failure"
         )
+
+    def on_membership_change(
+        self, workers: Sequence[PathWorker], now: float
+    ) -> None:
+        """The worker set changed mid-transaction.
+
+        Called when a path joins (or re-joins after a flap) so the
+        policy can track the new worker and create whatever per-path
+        state it keeps. Must be idempotent: a re-join of an existing
+        worker calls this too. The default ignores membership changes —
+        policies with per-path state override it.
+        """

@@ -137,6 +137,10 @@ class DeadlinePolicy(SchedulingPolicy):
             self._pending.append(item)
             self._pending.sort(key=item_deadline)
 
+    def on_membership_change(self, workers, now: float) -> None:
+        """Track joined/re-joined paths for the urgency duplication scan."""
+        self._workers = tuple(workers)
+
     @property
     def pending_count(self) -> int:
         """Items not yet handed to any path."""

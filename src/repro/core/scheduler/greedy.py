@@ -89,6 +89,10 @@ class GreedyPolicy(SchedulingPolicy):
         if item not in self._pending:
             self._pending.insert(0, item)
 
+    def on_membership_change(self, workers, now: float) -> None:
+        """Track joined/re-joined paths for the endgame duplication scan."""
+        self._workers = tuple(workers)
+
     @property
     def pending_count(self) -> int:
         """Items not yet handed to any path."""

@@ -125,9 +125,11 @@ class MinTimePolicy(SchedulingPolicy):
         return (self._backlog_bytes(worker) + extra_bytes) * 8.0 / bandwidth
 
     def _flush(self) -> None:
-        alive = [w for w in self._workers if not w.disabled]
+        alive = [w for w in self._workers if w.available]
         if not alive:
-            raise RuntimeError("all paths failed; cannot commit items")
+            # Total blackout: keep the items unassigned; a later
+            # next_item (after a path re-joins) flushes them.
+            return
         while self._unassigned:
             item = self._unassigned.pop(0)
             best = min(
@@ -161,12 +163,21 @@ class MinTimePolicy(SchedulingPolicy):
         return None
 
     def on_item_failed(self, worker: PathWorker, item, now: float) -> None:
-        """Re-commit the failed item and the dead queue by estimate."""
-        alive = [w for w in self._workers if not w.disabled]
-        if not alive:
-            raise RuntimeError("all paths failed; cannot recover")
+        """Re-commit the failed item and the dead queue by estimate.
+
+        During a total blackout (no path alive) the stranded items go
+        back to the unassigned pool and are re-committed when a path
+        re-joins — items are never lost.
+        """
         stranded = [item] + self._queues.get(worker.index, [])
         self._queues[worker.index] = []
+        alive = [w for w in self._workers if w.available]
+        if not alive:
+            for moved in stranded:
+                if moved not in self._unassigned:
+                    self._unassigned.append(moved)
+            self._flushed = False
+            return
         for moved in stranded:
             best = min(
                 alive,
@@ -177,6 +188,13 @@ class MinTimePolicy(SchedulingPolicy):
             queue = self._queues[best.index]
             if moved not in queue:
                 queue.append(moved)
+
+    def on_membership_change(self, workers, now: float) -> None:
+        """Track the new worker set and create its queue/estimate slots."""
+        self._workers = tuple(workers)
+        for worker in workers:
+            self._queues.setdefault(worker.index, [])
+            self._estimates.setdefault(worker.index, None)
 
     def queue_depth(self, worker_index: int) -> int:
         """Items committed to one path and not yet started."""

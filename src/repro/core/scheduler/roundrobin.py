@@ -28,12 +28,16 @@ class RoundRobinPolicy(SchedulingPolicy):
 
     def __init__(self) -> None:
         self._queues: Dict[int, List[TransferItem]] = {}
+        #: Items stranded while *no* path was alive (total blackout):
+        #: any path asking for work drains these first.
+        self._orphans: List[TransferItem] = []
 
     def initialize(
         self, workers: Sequence[PathWorker], items: Sequence[TransferItem]
     ) -> None:
         self._workers = tuple(workers)
         self._queues = {worker.index: [] for worker in workers}
+        self._orphans = []
         n = len(workers)
         for i, item in enumerate(items):
             self._queues[workers[i % n].index].append(item)
@@ -41,6 +45,8 @@ class RoundRobinPolicy(SchedulingPolicy):
     def next_item(
         self, worker: PathWorker, now: float
     ) -> Optional[WorkAssignment]:
+        if self._orphans:
+            return WorkAssignment(item=self._orphans.pop(0), duplicate=False)
         queue = self._queues.get(worker.index)
         if queue:
             return WorkAssignment(item=queue.pop(0), duplicate=False)
@@ -51,19 +57,49 @@ class RoundRobinPolicy(SchedulingPolicy):
 
         RR has no work stealing, so recovery must migrate the whole
         queue: the failed item and everything still waiting behind the
-        dead path go, round-robin, to the surviving paths.
+        dead path go, round-robin, to the surviving paths. During a
+        total blackout (no path alive) the stranded items wait in the
+        orphan list until any path re-joins — items are never lost.
         """
         self._workers = getattr(self, "_workers", ())
-        alive = [w for w in self._workers if not w.disabled]
-        if not alive:
-            raise RuntimeError("all paths failed; cannot recover")
         stranded = [item] + self._queues.get(worker.index, [])
         self._queues[worker.index] = []
+        alive = [w for w in self._workers if w.available]
+        if not alive:
+            for moved in stranded:
+                if moved not in self._orphans:
+                    self._orphans.append(moved)
+            return
         for i, moved in enumerate(stranded):
             target = alive[i % len(alive)]
             queue = self._queues[target.index]
             if moved not in queue:
                 queue.append(moved)
+
+    def on_membership_change(self, workers, now: float) -> None:
+        """Re-deal the unstarted items cyclically over the live set.
+
+        Called when a path joins or re-joins. RR stays static *between*
+        membership changes, but a returning path must share the residual
+        load or it would idle for the rest of the transaction (its queue
+        migrated away when it failed).
+        """
+        self._workers = tuple(workers)
+        for worker in workers:
+            self._queues.setdefault(worker.index, [])
+        alive = [w for w in self._workers if w.available]
+        if not alive:
+            return
+        pending = self._orphans + [
+            item
+            for worker in self._workers
+            for item in self._queues[worker.index]
+        ]
+        self._orphans = []
+        for worker in self._workers:
+            self._queues[worker.index] = []
+        for i, item in enumerate(pending):
+            self._queues[alive[i % len(alive)].index].append(item)
 
     def queue_depth(self, worker_index: int) -> int:
         """Items still queued for one path (for tests and introspection)."""

@@ -1,18 +1,32 @@
 """Transaction execution on the fluid simulator.
 
-:class:`TransactionRunner` is the machinery shared by all three scheduling
+:class:`TransactionRunner` is the machinery shared by all scheduling
 policies: it keeps one transfer in flight per path (HTTP, no pipelining),
 asks the policy for work whenever a path goes idle, executes transfers as
 fluid flows, aborts losing duplicate copies when an item completes, and
 accounts bytes per path — including the duplication *waste* whose bound
 (N−1)·S_max the paper derives for the greedy scheduler.
+
+On top of the happy path the runner implements the churn-tolerance layer:
+
+* **dynamic path membership** — :meth:`TransactionRunner.remove_path`
+  takes a path out (flap, Wi-Fi departure, permit revocation) and
+  :meth:`TransactionRunner.add_path` brings it back or adds a brand-new
+  path mid-transaction;
+* **bounded retries with exponential backoff** — an item orphaned by a
+  fault is re-offered to the policy after a :class:`RetryPolicy` backoff
+  that grows with the item's fault count;
+* **a per-flow stall watchdog** — a copy that moves no bytes for
+  ``stall_timeout_s`` seconds is aborted and its item reassigned;
+* **structured degradation logging** — every fault, drain, stall and
+  recovery is recorded as a :class:`DegradationEvent` on the result.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.core.items import Transaction, TransferItem
 from repro.core.scheduler.base import PathWorker, SchedulingPolicy
@@ -41,6 +55,72 @@ class ItemRecord:
         return self.completed_at - self.scheduled_at
 
 
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One structured entry in a transfer's degradation log.
+
+    ``kind`` is a small vocabulary shared across the stack:
+    ``path-fault`` (flap/death), ``path-drain`` (graceful removal),
+    ``path-rejoin`` / ``path-join`` (membership growth), ``stall``
+    (watchdog abort), ``retry-budget-exhausted``, ``permit-revoked``
+    and ``cap-exhausted`` (session-layer reactions).
+    """
+
+    time: float
+    kind: str
+    path_name: str = ""
+    item_label: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry budget with exponential backoff.
+
+    An item's fault count increments every time a fault or stall orphans
+    it with no sibling copy in flight. The ``k``-th recovery is delayed
+    by ``backoff_base_s * backoff_multiplier**(k-1)`` capped at
+    ``backoff_max_s``. Past ``max_attempts`` the item is *still*
+    re-queued — the runner never loses items — but without backoff and
+    with a ``retry-budget-exhausted`` event in the degradation log, so
+    callers can see the path churn outran the budget.
+    """
+
+    max_attempts: int = 6
+    backoff_base_s: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0.0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.backoff_max_s < 0.0:
+            raise ValueError("backoff_max_s must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before recovery attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        if attempt > self.max_attempts or self.backoff_base_s <= 0.0:
+            return 0.0
+        delay = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        return min(delay, self.backoff_max_s)
+
+
+#: Retry behaviour of the original one-shot ``fail_path`` era: immediate
+#: re-dispatch, effectively unbounded budget. Kept for callers that need
+#: bit-compatible timings with pre-churn code.
+IMMEDIATE_RETRY = RetryPolicy(
+    max_attempts=1_000_000, backoff_base_s=0.0
+)
+
+
 @dataclass
 class TransactionResult:
     """Outcome of one transaction run."""
@@ -56,6 +136,8 @@ class TransactionResult:
     wasted_bytes: float
     #: Total payload bytes of the transaction.
     payload_bytes: float
+    #: Structured log of faults, drains, stalls and recoveries.
+    degradations: List[DegradationEvent] = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
@@ -75,6 +157,10 @@ class TransactionResult:
         if self.payload_bytes <= 0.0:
             return 0.0
         return self.wasted_bytes / self.payload_bytes
+
+    def degradations_of_kind(self, kind: str) -> List[DegradationEvent]:
+        """The degradation entries of one kind, in time order."""
+        return [event for event in self.degradations if event.kind == kind]
 
     def time_to_complete(self, labels: Sequence[str]) -> float:
         """Seconds from transaction start until all ``labels`` completed.
@@ -119,16 +205,26 @@ class TransactionRunner:
         paths: Sequence[NetworkPath],
         policy: SchedulingPolicy,
         on_item_complete: Optional[Callable[[ItemRecord], None]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        stall_timeout_s: Optional[float] = None,
     ) -> None:
         if not paths:
             raise ValueError("need at least one path")
         names = [path.name for path in paths]
         if len(set(names)) != len(names):
             raise ValueError("path names must be unique")
+        if stall_timeout_s is not None and stall_timeout_s <= 0.0:
+            raise ValueError(
+                f"stall_timeout_s must be positive, got {stall_timeout_s}"
+            )
         self.network = network
         self.paths = list(paths)
         self.policy = policy
         self.on_item_complete = on_item_complete
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.stall_timeout_s = stall_timeout_s
+        #: Structured log of every fault/drain/stall/recovery.
+        self.degradations: List[DegradationEvent] = []
 
         self._workers = [
             PathWorker(index=i, path=path) for i, path in enumerate(self.paths)
@@ -143,13 +239,30 @@ class TransactionRunner:
         self._transaction: Optional[Transaction] = None
         self._started_at = 0.0
         self._baseline_path_bytes: Dict[str, float] = {}
-        #: Set while fail_path aborts a flow, so the abort handler knows
-        #: not to treat it as a routine duplicate-loss.
-        self._failing = None
+        #: Flows the runner is aborting on purpose (fault, drain, stall):
+        #: their abort handlers must not treat the abort as a routine
+        #: duplicate-loss. A *set* so concurrent faults in one engine
+        #: tick (or re-entrant aborts from inside abort callbacks) each
+        #: keep their own marker — the recovery path is re-entrant.
+        self._fault_aborting: Set[int] = set()
+        #: Items with a backoff-delayed recovery already scheduled, so two
+        #: faults in the same tick cannot double-schedule a re-dispatch.
+        self._requeue_pending: Set[str] = set()
+        #: Fault count per item label (drives the retry backoff).
+        self._fault_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    def _worker_by_name(self, path_name: str) -> PathWorker:
+        for worker in self._workers:
+            if worker.path.name == path_name:
+                return worker
+        raise KeyError(f"no path named {path_name!r}")
+
+    def _record(self, event: DegradationEvent) -> None:
+        self.degradations.append(event)
+
     def _refresh_worker_snapshots(self) -> None:
         for worker in self._workers:
             flow = self._worker_flow.get(worker.index)
@@ -159,7 +272,7 @@ class TransactionRunner:
         if (
             self._finished_at is not None
             or worker.current_item is not None
-            or worker.disabled
+            or not worker.available
         ):
             return
         self._refresh_worker_snapshots()
@@ -203,12 +316,25 @@ class TransactionRunner:
             _CopyState(worker=worker, flow=flow, issued_at=now)
         )
         self.network.add_flow(flow, delay=delay)
+        if self.stall_timeout_s is not None:
+            self._arm_watchdog(worker, item, flow, flow.remaining_bytes)
+
+    def _dispatch_idle(self) -> None:
+        for worker in self._workers:
+            if worker.current_item is None and worker.available:
+                self._dispatch(worker)
+                if self._finished_at is not None:
+                    return
 
     def _release_worker(self, worker: PathWorker, flow: Flow) -> None:
         worker.current_item = None
         worker.remaining_bytes = 0.0
         if self._worker_flow.get(worker.index) is flow:
             del self._worker_flow[worker.index]
+        if worker.draining:
+            # The drained copy settled: the path now leaves the set.
+            worker.draining = False
+            worker.disabled = True
 
     def _on_copy_complete(
         self, worker: PathWorker, item: TransferItem, flow: Flow, now: float
@@ -249,11 +375,7 @@ class TransactionRunner:
         if len(self._completed) == self._items_total:
             self._finished_at = now
             return
-        for idle in self._workers:
-            if idle.current_item is None:
-                self._dispatch(idle)
-                if self._finished_at is not None:
-                    return
+        self._dispatch_idle()
 
     def _on_copy_aborted(
         self, worker: PathWorker, item: TransferItem, flow: Flow, now: float
@@ -264,10 +386,111 @@ class TransactionRunner:
         worker.path.notify_activity(now)
         self._wasted += flow.transferred_bytes
         self._release_worker(worker, flow)
-        if self._failing == (worker.index, flow):
-            # fail_path drives recovery itself (on_item_failed + redispatch).
+        if flow.flow_id in self._fault_aborting:
+            # remove_path / the stall watchdog drives recovery itself
+            # (delayed re-queue + re-dispatch).
             return
         self.policy.on_item_aborted(worker, item, now)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _abort_for_fault(self, flow: Flow) -> None:
+        """Abort ``flow`` with the fault marker set (re-entrant safe)."""
+        self._fault_aborting.add(flow.flow_id)
+        try:
+            self.network.abort_flow(flow)
+        finally:
+            self._fault_aborting.discard(flow.flow_id)
+
+    def _recover_item(self, worker: PathWorker, item: TransferItem) -> None:
+        """Re-offer ``item`` to the policy after a fault orphaned it.
+
+        No-op when the transaction finished, the item completed, a
+        sibling copy is still in flight, or a recovery is already
+        scheduled — which makes the path re-entrant: any number of
+        faults in the same engine tick schedule at most one re-dispatch.
+        """
+        if self._finished_at is not None or item.label in self._completed:
+            return
+        live_copies = [
+            c
+            for c in self._copies.get(item.label, [])
+            if not c.flow.is_done
+        ]
+        if live_copies:
+            # The endgame machinery already covers the item.
+            return
+        if item.label in self._requeue_pending:
+            return
+        now = self.network.time
+        attempt = self._fault_counts.get(item.label, 0) + 1
+        self._fault_counts[item.label] = attempt
+        if attempt > self.retry_policy.max_attempts:
+            self._record(
+                DegradationEvent(
+                    time=now,
+                    kind="retry-budget-exhausted",
+                    path_name=worker.path.name,
+                    item_label=item.label,
+                    detail=(
+                        f"fault {attempt} exceeds budget of "
+                        f"{self.retry_policy.max_attempts}; re-queueing "
+                        "without backoff"
+                    ),
+                )
+            )
+        delay = self.retry_policy.backoff(attempt)
+
+        def requeue() -> None:
+            self._requeue_pending.discard(item.label)
+            if (
+                self._finished_at is not None
+                or item.label in self._completed
+            ):
+                return
+            self.policy.on_item_failed(worker, item, self.network.time)
+            self._dispatch_idle()
+
+        if delay > 0.0:
+            self._requeue_pending.add(item.label)
+            self.network.schedule(
+                delay, requeue, label=f"requeue:{item.label}"
+            )
+        else:
+            requeue()
+
+    def _arm_watchdog(
+        self,
+        worker: PathWorker,
+        item: TransferItem,
+        flow: Flow,
+        last_remaining: float,
+    ) -> None:
+        timeout = self.stall_timeout_s
+        assert timeout is not None
+
+        def check() -> None:
+            if flow.is_done or self._finished_at is not None:
+                return
+            if flow.remaining_bytes < last_remaining:
+                # Progress since the last check: re-arm from here.
+                self._arm_watchdog(worker, item, flow, flow.remaining_bytes)
+                return
+            self._record(
+                DegradationEvent(
+                    time=self.network.time,
+                    kind="stall",
+                    path_name=worker.path.name,
+                    item_label=item.label,
+                    detail=f"no progress for {timeout:g}s; reassigning",
+                )
+            )
+            self._abort_for_fault(flow)
+            self._recover_item(worker, item)
+            self._dispatch_idle()
+
+        self.network.schedule(timeout, check, label=f"watchdog:{flow.label}")
 
     # ------------------------------------------------------------------
     # Entry point
@@ -294,51 +517,132 @@ class TransactionRunner:
             if self._finished_at is not None:
                 break
 
+    # ------------------------------------------------------------------
+    # Dynamic path membership
+    # ------------------------------------------------------------------
+    def remove_path(
+        self,
+        path_name: str,
+        drain: bool = False,
+        kind: str = "path-fault",
+        detail: str = "",
+    ) -> bool:
+        """Take a path out of the transfer set (it may later re-join).
+
+        ``drain=False`` (a fault: flap, Wi-Fi departure, radio loss)
+        aborts the in-flight copy and re-offers the orphaned item to the
+        policy after the retry backoff. ``drain=True`` (a graceful
+        removal: permit drain, cap exhaustion) lets the current copy
+        finish but dispatches no new work; the worker disables itself
+        once idle. Returns ``True`` when the call changed the path's
+        state, ``False`` when it was already out (idempotent).
+        """
+        worker = self._worker_by_name(path_name)
+        if worker.disabled or (drain and worker.draining):
+            return False
+        now = self.network.time
+        item = worker.current_item
+        if drain and item is not None:
+            worker.draining = True
+            self._record(
+                DegradationEvent(
+                    time=now,
+                    # A caller that didn't specialise the kind gets the
+                    # vocabulary's graceful variant, not "path-fault".
+                    kind="path-drain" if kind == "path-fault" else kind,
+                    path_name=path_name,
+                    item_label=item.label,
+                    detail=detail or "draining: current copy may finish",
+                )
+            )
+            return True
+        worker.draining = False
+        worker.disabled = True
+        self._record(
+            DegradationEvent(
+                time=now,
+                kind=kind,
+                path_name=path_name,
+                item_label=item.label if item is not None else "",
+                detail=detail,
+            )
+        )
+        flow = self._worker_flow.get(worker.index)
+        if flow is not None and not flow.is_done:
+            self._abort_for_fault(flow)
+        worker.current_item = None
+        if item is not None:
+            self._recover_item(worker, item)
+        self._dispatch_idle()
+        return True
+
+    def add_path(
+        self, path: Union[str, NetworkPath], kind: str = "path-rejoin"
+    ) -> PathWorker:
+        """Bring a path (back) into the transfer set mid-transaction.
+
+        Given a name, re-enables the matching removed worker (re-join
+        after a flap). Given a new :class:`NetworkPath`, appends a fresh
+        worker — the multipath set can grow while a transaction runs
+        (e.g. a phone arriving home). Idempotent for already-active
+        paths. The policy learns of the change via
+        :meth:`~repro.core.scheduler.base.SchedulingPolicy.\
+on_membership_change` and the path starts pulling work immediately.
+        """
+        now = self.network.time
+        if isinstance(path, str):
+            worker = self._worker_by_name(path)
+            if worker.available:
+                return worker
+            worker.disabled = False
+            worker.draining = False
+            self._record(
+                DegradationEvent(
+                    time=now, kind=kind, path_name=worker.path.name
+                )
+            )
+        else:
+            existing = next(
+                (w for w in self._workers if w.path.name == path.name), None
+            )
+            if existing is not None:
+                return self.add_path(path.name, kind=kind)
+            worker = PathWorker(index=len(self._workers), path=path)
+            self._workers.append(worker)
+            self.paths.append(path)
+            if self._items_total:
+                self._baseline_path_bytes[path.name] = path.bytes_used
+            self._record(
+                DegradationEvent(
+                    time=now, kind="path-join", path_name=path.name
+                )
+            )
+        self.policy.on_membership_change(tuple(self._workers), now)
+        if self._items_total and self._finished_at is None:
+            self._dispatch(worker)
+        return worker
+
     def fail_path(self, path_name: str) -> None:
         """A path died mid-transaction (phone left the LAN, radio lost).
 
         The worker is disabled, its in-flight copy aborted, and the
         policy's :meth:`~repro.core.scheduler.base.SchedulingPolicy.\
-on_item_failed` hook re-queues the stranded item; every idle surviving
-        worker is then re-dispatched so recovery starts immediately.
+on_item_failed` hook re-queues the stranded item after the retry
+        backoff; every idle surviving worker is then re-dispatched so
+        recovery starts as soon as the backoff elapses. The path may
+        still re-join later via :meth:`add_path`.
         """
-        worker = next(
-            (w for w in self._workers if w.path.name == path_name), None
-        )
-        if worker is None:
-            raise KeyError(f"no path named {path_name!r}")
-        if worker.disabled:
-            return
-        worker.disabled = True
-        flow = self._worker_flow.get(worker.index)
-        item = worker.current_item
-        if flow is not None and not flow.is_done:
-            self._failing = (worker.index, flow)
-            try:
-                self.network.abort_flow(flow)
-            finally:
-                self._failing = None
-        if item is not None and item.label not in self._completed:
-            # Only re-offer when no sibling copy is still in flight —
-            # otherwise the endgame machinery already covers the item.
-            live_copies = [
-                c
-                for c in self._copies.get(item.label, [])
-                if not c.flow.is_done
-            ]
-            if not live_copies:
-                self.policy.on_item_failed(worker, item, self.network.time)
-        worker.current_item = None
-        for idle in self._workers:
-            if idle.current_item is None and not idle.disabled:
-                self._dispatch(idle)
-                if self._finished_at is not None:
-                    return
+        self.remove_path(path_name, kind="path-fault", detail="path failed")
 
     @property
     def finished(self) -> bool:
         """True once every item of the started transaction completed."""
         return self._finished_at is not None
+
+    @property
+    def active_path_names(self) -> List[str]:
+        """Names of the paths currently accepting work."""
+        return [w.path.name for w in self._workers if w.available]
 
     def collect_result(self) -> TransactionResult:
         """Build the result of a finished transaction."""
@@ -368,6 +672,7 @@ on_item_failed` hook re-queues the stranded item; every idle surviving
             path_bytes=path_bytes,
             wasted_bytes=self._wasted,
             payload_bytes=self._transaction.total_bytes,
+            degradations=list(self.degradations),
         )
 
     def run(

@@ -23,6 +23,7 @@ from repro.core.items import Direction
 from repro.core.mobile import MobileComponent, OperatingMode
 from repro.core.permits import PermitServer
 from repro.core.proxy import HlsAwareProxy, VideoDownloadReport
+from repro.core.resilience import TransferGuard
 from repro.core.uploader import MultipartUploader, UploadReport
 from repro.netsim.cellular import CellularDevice
 from repro.netsim.path import NetworkPath
@@ -51,6 +52,7 @@ class OnloadSession:
         self.household = household
         self.network = household.network
         self.registry = DiscoveryRegistry()
+        self.permit_server = permit_server
         self.origin = OriginServer(
             down_bps=household.config.origin_down_bps,
             up_bps=household.config.origin_up_bps,
@@ -107,6 +109,9 @@ class OnloadSession:
         now = self.network.time
         for component in self.mobile_components.values():
             component.refresh(now)
+        # Explicit sweep: Φ shrinks even for phones whose component went
+        # silent (left the house) and will never refresh again.
+        self.registry.expire(now)
         advertised = {
             record.device_name for record in self.registry.browse(now)
         }
@@ -157,6 +162,14 @@ class OnloadSession:
             if component is not None and nbytes > 0.0:
                 component.record_transfer(nbytes, now)
 
+    def _make_guard(self) -> TransferGuard:
+        """Guard for one transfer: live revocation + incremental metering."""
+        return TransferGuard(
+            self.mobile_components,
+            permit_server=self.permit_server,
+            network=self.network,
+        )
+
     def download_video(
         self,
         video_name: str,
@@ -169,8 +182,10 @@ class OnloadSession:
         """Download one rendition, with or without 3GOL assistance."""
         playlist = self.origin.video(video_name).playlist(quality)
         wired = self.household.adsl_down_path()
+        guard: Optional[TransferGuard] = None
         if use_3gol:
             paths = self.paths_for(Direction.DOWNLOAD, max_phones=max_phones)
+            guard = self._make_guard()
         else:
             paths = [wired]
         proxy = HlsAwareProxy(self.network, self.origin, wired)
@@ -180,8 +195,10 @@ class OnloadSession:
             policy_name=policy_name,
             prebuffer_fraction=prebuffer_fraction,
             quality_label=quality,
+            guard=guard,
         )
-        self._meter_cellular(report.result, paths)
+        if guard is None:
+            self._meter_cellular(report.result, paths)
         return report
 
     def upload_photos(
@@ -192,13 +209,18 @@ class OnloadSession:
         use_3gol: bool = True,
     ) -> UploadReport:
         """Upload a photo set, with or without 3GOL assistance."""
+        guard: Optional[TransferGuard] = None
         if use_3gol:
             paths = self.paths_for(Direction.UPLOAD, max_phones=max_phones)
+            guard = self._make_guard()
         else:
             paths = [self.household.adsl_up_path()]
         uploader = MultipartUploader(self.network)
-        report = uploader.upload(photos, paths, policy_name=policy_name)
-        self._meter_cellular(report.result, paths)
+        report = uploader.upload(
+            photos, paths, policy_name=policy_name, guard=guard
+        )
+        if guard is None:
+            self._meter_cellular(report.result, paths)
         return report
 
     def baseline_download_time(self, video_name: str, quality: str) -> float:

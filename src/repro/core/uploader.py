@@ -9,11 +9,14 @@ behaviour), parallelised across the uplink paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.items import Direction, Transaction, TransferItem
 from repro.core.scheduler import TransactionRunner, make_policy
-from repro.core.scheduler.runner import TransactionResult
+from repro.core.scheduler.runner import RetryPolicy, TransactionResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.resilience import TransferGuard
 from repro.netsim.fluid import FluidNetwork
 from repro.netsim.path import NetworkPath
 from repro.web.upload import MultipartUpload, Photo
@@ -57,16 +60,32 @@ class MultipartUploader:
         photos: Sequence[Photo],
         paths: Sequence[NetworkPath],
         policy_name: str = "GRD",
+        guard: Optional["TransferGuard"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        stall_timeout_s: Optional[float] = None,
     ) -> UploadReport:
-        """Upload ``photos`` across ``paths``; returns timing report."""
+        """Upload ``photos`` across ``paths``; returns timing report.
+
+        ``guard`` (a :class:`~repro.core.resilience.TransferGuard`) makes
+        the upload react mid-flight to permit revocations and cap
+        exhaustion, degrading to the surviving paths.
+        """
         items = photos_to_items(photos)
         transaction = Transaction(
             items, direction=Direction.UPLOAD, name="photo-upload"
         )
         runner = TransactionRunner(
-            self.network, list(paths), make_policy(policy_name)
+            self.network,
+            list(paths),
+            make_policy(policy_name),
+            retry_policy=retry_policy,
+            stall_timeout_s=stall_timeout_s,
         )
+        if guard is not None:
+            guard.attach(runner, paths)
         result = runner.run(transaction)
+        if guard is not None:
+            guard.finalize(result)
         return UploadReport(
             photo_count=len(photos),
             payload_bytes=sum(photo.size_bytes for photo in photos),

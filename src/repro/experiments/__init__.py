@@ -46,6 +46,7 @@ ext-neighborhood   extension: simultaneous adopters on one cell
 ext-estimator      ablation: estimator design space
 ext-min-tuning     ablation: tuning the MIN scheduler
 ext-duplication    ablation: endgame duplication
+ext-churn          extension: scheduler robustness under path churn
 pilot              the 30-household pilot deployment
 headline           §5 headline speedups (prebuffer/download/upload)
 =================  =====================================================

@@ -1,0 +1,288 @@
+"""Extension: scheduler robustness under path churn.
+
+The deployment sections (§3, §5) describe the failure environment —
+phones walking out of Wi-Fi range, 3G radios dropping, permits revoked
+mid-transfer — but the paper evaluates the schedulers only on stable
+paths. This experiment closes that gap: the same video download runs
+under increasing *churn* (seeded flap + radio-drop processes on every
+phone path, ADSL always up) for all four policies, measuring
+
+* **completion rate** — transactions finished before the cutoff;
+* **goodput loss** — slowdown of the mean download time vs the calm run
+  (churn 0) of the same policy;
+* **duplicate-byte waste** — endgame duplication plus the partial
+  transfers killed by faults, as a fraction of the payload;
+* **fault events** — effective path-down transitions plus watchdog
+  stalls the runner had to absorb.
+
+Churn intensity is the expected number of flaps per minute per phone
+path; each flap takes the path down for ~5 s, and an accompanying
+Poisson radio-drop process (15·intensity drops/hour, 8 s reacquisition)
+adds uncorrelated losses. All fault processes are pure functions of the
+seed, so results are byte-identical across runs and ``--jobs`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.items import Transaction, TransferItem
+from repro.core.resilience import bind_fault_schedule
+from repro.core.scheduler import (
+    RetryPolicy,
+    TransactionRunner,
+    attach_deadlines,
+    make_policy,
+)
+from repro.core.scheduler.runner import TransactionResult
+from repro.experiments.formatting import fmt, render_table
+from repro.experiments.registry import experiment, jsonable
+from repro.netsim.faults import FaultSchedule, PathFlapProcess, RadioDropProcess
+from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
+from repro.util.stats import RunningStats
+from repro.util.units import mbps
+from repro.web.hls import make_bipbop_video
+
+LOCATION = LocationProfile(
+    name="churn-home",
+    description="churn testbed (2 Mbps ADSL, night, 2 phones)",
+    adsl_down_bps=mbps(2.0),
+    adsl_up_bps=mbps(0.512),
+    signal_dbm=-81.0,
+    peak_utilization=0.35,
+    measurement_hour=1.0,
+    adsl_goodput_efficiency=0.55,
+)
+
+POLICIES = ("GRD", "RR", "MIN", "DLN")
+
+#: Mean flap outage and the radio-drop side process, per unit intensity.
+FLAP_DOWN_S = 5.0
+RADIO_DROPS_PER_HOUR_PER_UNIT = 15.0
+RADIO_OUTAGE_S = 8.0
+
+#: Runner hardening used for every churn run.
+STALL_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class ChurnCell:
+    """Aggregates for one (policy, intensity) combination."""
+
+    policy: str
+    #: Expected flaps per minute per phone path.
+    intensity: float
+    #: Fraction of seeds whose transaction finished before the cutoff.
+    completion_rate: float
+    #: Mean download time over the completed runs (s).
+    mean_time_s: float
+    #: ``mean_time_s`` relative to the same policy's calm (intensity-0) run.
+    slowdown: float
+    #: Wasted bytes (duplicates + fault-killed partials) / payload bytes.
+    waste_fraction: float
+    #: Mean path-fault + stall events absorbed per run.
+    mean_fault_events: float
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Scheduler robustness under increasing path churn."""
+
+    cutoff_s: float
+    cells: Tuple[ChurnCell, ...]
+
+    def cell(self, policy: str, intensity: float) -> ChurnCell:
+        """The aggregate for one (policy, intensity) pair."""
+        for cell in self.cells:
+            if cell.policy == policy and cell.intensity == intensity:
+                return cell
+        raise KeyError(f"no cell for ({policy!r}, {intensity!r})")
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload of every field (``repro run --json``)."""
+        return jsonable(self)
+
+    def render(self) -> str:
+        """The robustness table, grouped by policy."""
+        rows = [
+            (
+                cell.policy,
+                fmt(cell.intensity, 1),
+                f"{cell.completion_rate:.0%}",
+                fmt(cell.mean_time_s, 1),
+                f"x{cell.slowdown:.2f}",
+                f"{cell.waste_fraction:.1%}",
+                fmt(cell.mean_fault_events, 1),
+            )
+            for cell in self.cells
+        ]
+        return render_table(
+            [
+                "policy",
+                "flaps/min",
+                "completed",
+                "time (s)",
+                "vs calm",
+                "waste",
+                "faults",
+            ],
+            rows,
+            title=(
+                "Extension §5 — schedulers under path churn "
+                f"(Q3 video, 2 phones, cutoff {self.cutoff_s:g}s)"
+            ),
+        )
+
+
+def _build_schedule(
+    paths, intensity: float, seed: int
+) -> FaultSchedule:
+    """Seeded churn for every phone path (the wired path stays up)."""
+    schedule = FaultSchedule()
+    if intensity <= 0.0:
+        return schedule
+    for k, path in enumerate(paths[1:]):
+        base = seed * 7919 + k * 101
+        schedule.add(
+            PathFlapProcess(
+                path.name,
+                seed=base + 1,
+                mean_up_s=60.0 / intensity,
+                mean_down_s=FLAP_DOWN_S,
+                min_down_s=0.5,
+            )
+        )
+        schedule.add(
+            RadioDropProcess(
+                path.name,
+                seed=base + 2,
+                drops_per_hour=RADIO_DROPS_PER_HOUR_PER_UNIT * intensity,
+                outage_s=RADIO_OUTAGE_S,
+            )
+        )
+    return schedule
+
+
+def _one_run(
+    policy_name: str,
+    intensity: float,
+    seed: int,
+    quality: str,
+    cutoff_s: float,
+) -> Tuple[Optional[TransactionResult], int]:
+    """One churn run; ``(result, fault_events)``, result None on cutoff."""
+    household = Household(LOCATION, HouseholdConfig(n_phones=2, seed=seed))
+    network = household.network
+    paths = household.download_paths()
+    playlist = make_bipbop_video().playlist(quality)
+    items = [
+        TransferItem(
+            s.uri,
+            s.size_bytes,
+            {"index": s.index, "duration_s": s.duration_s},
+        )
+        for s in playlist.segments
+    ]
+    if policy_name == "DLN":
+        attach_deadlines(items)
+    runner = TransactionRunner(
+        network,
+        paths,
+        make_policy(policy_name),
+        retry_policy=RetryPolicy(),
+        stall_timeout_s=STALL_TIMEOUT_S,
+    )
+    cutoff = network.time + cutoff_s
+    runner.start(
+        Transaction(
+            items, name=f"churn-{policy_name}-{intensity:g}-{seed}"
+        )
+    )
+    schedule = _build_schedule(paths, intensity, seed)
+    if schedule.processes:
+        bind_fault_schedule(runner, schedule, horizon=cutoff)
+    while not runner.finished and network.time < cutoff:
+        if not network.step(max_time=cutoff):
+            break
+    faults = sum(
+        1
+        for event in runner.degradations
+        if event.kind in ("path-fault", "stall")
+    )
+    if not runner.finished:
+        return None, faults
+    return runner.collect_result(), faults
+
+
+@experiment(
+    "ext-churn",
+    title="Extension §5 — scheduler robustness under path churn",
+    description="extension: scheduler robustness under path churn",
+    paper_ref="§3, §5",
+    claims=(
+        "Paper (prose only): phones leave Wi-Fi range and radios drop, "
+        "but the scheduler comparison runs on stable paths.\n"
+        "Measured: with retries, stall watchdog and dynamic membership, "
+        "every policy completes every transaction at every churn level. "
+        "Pull-based GRD/DLN stay fastest and degrade smoothly (x1.6 at "
+        "4 flaps/min) at the price of duplication waste; MIN pays the "
+        "largest slowdown (x1.9) as its estimate-committed queues "
+        "strand behind flapping paths; RR survives churn only because "
+        "each re-join re-deals its residual queues — which can even "
+        "fix its static imbalance."
+    ),
+    bench_params={
+        "seeds": (0, 1, 2, 3, 4),
+        "intensities": (0.0, 1.0, 2.0, 4.0),
+    },
+    quick_params={"seeds": (0,), "intensities": (0.0, 2.0)},
+    order=260,
+)
+def run(
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    intensities: Sequence[float] = (0.0, 1.0, 2.0, 4.0),
+    quality: str = "Q3",
+    cutoff_s: float = 1800.0,
+) -> ChurnResult:
+    """Sweep the four policies over the churn intensities."""
+    intensities = tuple(intensities)
+    if 0.0 not in intensities:
+        # The calm run is the slowdown baseline; always measure it.
+        intensities = (0.0,) + intensities
+    cells: List[ChurnCell] = []
+    calm_time: Dict[str, float] = {}
+    for policy_name in POLICIES:
+        for intensity in intensities:
+            times = RunningStats()
+            waste = RunningStats()
+            faults = RunningStats()
+            completed = 0
+            for seed in seeds:
+                result, fault_events = _one_run(
+                    policy_name, intensity, seed, quality, cutoff_s
+                )
+                faults.add(float(fault_events))
+                if result is None:
+                    continue
+                completed += 1
+                times.add(result.total_time)
+                waste.add(result.overhead_fraction)
+            mean_time = times.mean if completed else float("inf")
+            if intensity == 0.0:
+                calm_time[policy_name] = mean_time
+            baseline = calm_time.get(policy_name, mean_time)
+            cells.append(
+                ChurnCell(
+                    policy=policy_name,
+                    intensity=intensity,
+                    completion_rate=completed / len(tuple(seeds)),
+                    mean_time_s=mean_time,
+                    slowdown=(
+                        mean_time / baseline if baseline > 0.0 else 1.0
+                    ),
+                    waste_fraction=waste.mean if completed else 0.0,
+                    mean_fault_events=faults.mean,
+                )
+            )
+    return ChurnResult(cutoff_s=cutoff_s, cells=tuple(cells))

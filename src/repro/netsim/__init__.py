@@ -17,6 +17,16 @@ Main entry points:
 """
 
 from repro.netsim.engine import EventQueue, ScheduledEvent
+from repro.netsim.faults import (
+    FaultEvent,
+    FaultProcess,
+    FaultSchedule,
+    LatencySpikeProcess,
+    Outage,
+    PathFlapProcess,
+    RadioDropProcess,
+    WifiDepartureProcess,
+)
 from repro.netsim.link import Link, PiecewiseLink, StochasticLink, TIME_INFINITY
 from repro.netsim.fluid import FluidNetwork, Flow, max_min_allocation
 from repro.netsim.path import NetworkPath
@@ -35,6 +45,14 @@ from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
 __all__ = [
     "EventQueue",
     "ScheduledEvent",
+    "FaultEvent",
+    "FaultProcess",
+    "FaultSchedule",
+    "LatencySpikeProcess",
+    "Outage",
+    "PathFlapProcess",
+    "RadioDropProcess",
+    "WifiDepartureProcess",
     "Link",
     "PiecewiseLink",
     "StochasticLink",

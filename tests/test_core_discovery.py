@@ -20,6 +20,23 @@ class TestDiscoveryRegistry:
         assert registry.browse(1.0) == []
         assert not registry.withdraw("phone-a")
 
+    def test_expire_sweeps_lapsed_records(self):
+        registry = DiscoveryRegistry()
+        registry.announce("phone-a", now=0.0, ttl=10.0)
+        registry.announce("phone-b", now=0.0, ttl=60.0)
+        registry.announce("phone-c", now=0.0, ttl=5.0)
+        assert registry.expire(20.0) == ["phone-a", "phone-c"]
+        assert len(registry) == 1
+        # A second sweep at the same instant finds nothing left.
+        assert registry.expire(20.0) == []
+
+    def test_expire_boundary_is_inclusive(self):
+        # A record lapses exactly at announced_at + ttl (mirrors lookup).
+        registry = DiscoveryRegistry()
+        registry.announce("phone-a", now=0.0, ttl=10.0)
+        assert registry.expire(9.999) == []
+        assert registry.expire(10.0) == ["phone-a"]
+
     def test_ttl_expiry(self):
         registry = DiscoveryRegistry()
         registry.announce("phone-a", now=0.0, ttl=120.0)

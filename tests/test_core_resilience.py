@@ -1,0 +1,152 @@
+"""TransferGuard: permit revocation and cap exhaustion mid-transfer."""
+
+import pytest
+
+from repro.core.mobile import OperatingMode
+from repro.core.permits import PermitServer
+from repro.core.resilience import TransferGuard, bind_fault_schedule
+from repro.core.session import OnloadSession
+from repro.netsim.faults import FaultSchedule, PathFlapProcess
+from repro.util.units import MB
+from repro.web.upload import Photo
+
+
+def photos(n, size=2 * MB):
+    return [Photo(f"{i}.jpg", size) for i in range(n)]
+
+
+class TestPermitRevocation:
+    def make_session(self, quiet_location):
+        server = PermitServer(utilization_fn=lambda cell, now: 0.1)
+        session = OnloadSession.for_location(
+            quiet_location,
+            n_phones=2,
+            seed=1,
+            mode=OperatingMode.NETWORK_INTEGRATED,
+            permit_server=server,
+        )
+        return session, server
+
+    def test_revocation_mid_transfer_degrades_and_completes(
+        self, quiet_location
+    ):
+        session, server = self.make_session(quiet_location)
+        phone = session.household.phones[0].name
+        # Pull the permit one simulated second into the upload.
+        session.network.schedule(1.0, lambda: server.revoke(phone))
+        report = session.upload_photos(photos(8))
+        assert report.photo_count == 8
+        events = report.result.degradations_of_kind("permit-revoked")
+        assert len(events) == 1
+        assert phone in events[0].path_name
+        # Nothing landed on the revoked path after the revocation.
+        for record in report.result.records.values():
+            if phone in record.path_name:
+                assert record.completed_at <= 1.0 + 1e-9
+
+    def test_revocation_of_idle_device_is_benign(self, quiet_location):
+        session, server = self.make_session(quiet_location)
+        # Revoke before the transfer: the phone never advertises, the
+        # path set is built without it, and the guard has nothing to do.
+        server.revoke(session.household.phones[0].name)
+        report = session.upload_photos(photos(4))
+        assert report.photo_count == 4
+        assert report.result.degradations_of_kind("permit-revoked") == []
+
+    def test_guard_unsubscribes_after_finalize(self, quiet_location):
+        session, server = self.make_session(quiet_location)
+        session.upload_photos(photos(2))
+        # All transfer-time listeners are gone: a late revocation must
+        # not touch a finished runner.
+        assert server._revocation_listeners == []
+
+
+class TestCapExhaustion:
+    def test_cap_exhaustion_drains_path_mid_transfer(self, quiet_location):
+        session = OnloadSession.for_location(
+            quiet_location, n_phones=2, seed=1, daily_budget_bytes=3 * MB
+        )
+        report = session.upload_photos(photos(10))
+        assert report.photo_count == 10
+        drained = report.result.degradations_of_kind("cap-exhausted")
+        # The phones blow their 3 MB budget during this ~20 MB upload.
+        assert len(drained) >= 1
+        # Metering saw every cellular byte (incremental + true-up).
+        used = sum(
+            c.cap_tracker.total_used_bytes
+            for c in session.mobile_components.values()
+        )
+        cellular = sum(
+            nbytes
+            for name, nbytes in report.result.path_bytes.items()
+            if "phone" in name
+        )
+        assert used == pytest.approx(cellular, rel=1e-6)
+
+    def test_exhausted_phone_not_admissible_afterwards(self, quiet_location):
+        session = OnloadSession.for_location(
+            quiet_location, n_phones=2, seed=1, daily_budget_bytes=1 * MB
+        )
+        session.upload_photos(photos(6))
+        assert session.admissible_phones() == []
+
+
+class TestGuardMechanics:
+    def test_guard_is_single_use(self, quiet_location):
+        session = OnloadSession.for_location(
+            quiet_location, n_phones=1, seed=1
+        )
+        guard = session._make_guard()
+        session.host_bipbop()
+        from repro.core.items import Direction
+        from repro.core.proxy import HlsAwareProxy
+
+        proxy = HlsAwareProxy(
+            session.network, session.origin, session.household.adsl_down_path()
+        )
+        paths = session.paths_for(Direction.DOWNLOAD)
+        playlist = session.origin.video("bipbop").playlist("Q1")
+        proxy.download(playlist.playlist_uri, paths, guard=guard)
+        with pytest.raises(RuntimeError, match="single-use"):
+            proxy.download(playlist.playlist_uri, paths, guard=guard)
+
+    def test_bind_fault_schedule_drives_membership(self, quiet_location):
+        from repro.core.items import Direction, Transaction
+        from repro.core.scheduler import (
+            IMMEDIATE_RETRY,
+            TransactionRunner,
+            make_policy,
+        )
+        from repro.core.uploader import photos_to_items
+
+        session = OnloadSession.for_location(
+            quiet_location, n_phones=2, seed=1
+        )
+        network = session.network
+        paths = session.paths_for(Direction.UPLOAD)
+        runner = TransactionRunner(
+            network,
+            paths,
+            make_policy("GRD"),
+            retry_policy=IMMEDIATE_RETRY,
+        )
+        items = photos_to_items(photos(12))
+        runner.start(Transaction(items, name="churny-upload"))
+        schedule = FaultSchedule(
+            [
+                PathFlapProcess(
+                    paths[1].name, seed=3, mean_up_s=5.0, mean_down_s=3.0
+                )
+            ]
+        )
+        armed = bind_fault_schedule(
+            runner, schedule, horizon=network.time + 600.0
+        )
+        assert armed
+        while not runner.finished:
+            if not network.step(max_time=network.time + 600.0):
+                break
+        result = runner.collect_result()
+        assert len(result.records) == 12
+        kinds = {e.kind for e in result.degradations}
+        assert "path-fault" in kinds

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import (
+    ext_churn,
     ext_dslam,
     ext_duplication,
     ext_estimator,
@@ -168,3 +169,43 @@ class TestMinTuningAblation:
 
     def test_grid_complete(self, result):
         assert len(result.times) == 4
+
+
+class TestChurnExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_churn.run(seeds=(0, 1), intensities=(0.0, 2.0))
+
+    def test_every_policy_completes_under_default_churn(self, result):
+        # The robustness acceptance bar: no lost items, every
+        # transaction finishes before the cutoff for all four policies.
+        for cell in result.cells:
+            assert cell.completion_rate == 1.0, cell
+
+    def test_calm_run_is_the_baseline(self, result):
+        for policy in ext_churn.POLICIES:
+            assert result.cell(policy, 0.0).slowdown == pytest.approx(1.0)
+
+    def test_churn_slows_static_policies_more(self, result):
+        # Pull-based GRD absorbs flaps better than the estimate-driven
+        # commit-once MIN, and stays fastest in absolute terms. (RR is
+        # excluded: the re-join re-deal can accidentally *fix* its
+        # static imbalance, making mild churn a wash for it.)
+        assert (
+            result.cell("GRD", 2.0).slowdown
+            < result.cell("MIN", 2.0).slowdown
+        )
+        assert (
+            result.cell("GRD", 2.0).mean_time_s
+            < result.cell("MIN", 2.0).mean_time_s
+        )
+
+    def test_deterministic_across_runs(self, result):
+        again = ext_churn.run(seeds=(0, 1), intensities=(0.0, 2.0))
+        assert again == result
+
+    def test_render_and_to_dict(self, result):
+        import json
+
+        assert "churn" in result.render()
+        json.dumps(result.to_dict())

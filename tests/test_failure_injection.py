@@ -133,6 +133,33 @@ class TestFailPath:
         # Completed at the fast path's natural pace (4 MB at 8 Mbps = 4 s).
         assert record.completed_at == pytest.approx(4.0, abs=0.2)
 
+    def test_dln_failure_and_rejoin_still_completes_in_order(self):
+        # The deadline policy under churn: its EDF duplication must keep
+        # working across a fault + re-join cycle, and completion order
+        # must stay consistent with the deadlines (HLS playout order).
+        network, paths, runner, txn = make_setup(
+            [mbps(4), mbps(4)], [1 * MB] * 8, "DLN"
+        )
+        runner.start(txn)
+        network.schedule(1.0, lambda: runner.fail_path("p1"))
+        network.schedule(4.0, lambda: runner.add_path("p1"))
+        while not runner.finished:
+            if not network.step(max_time=600.0):
+                break
+        result = runner.collect_result()
+        assert len(result.records) == 8
+        kinds = [e.kind for e in result.degradations]
+        assert "path-fault" in kinds and "path-rejoin" in kinds
+        # p1 carried load again after the re-join.
+        assert any(
+            r.path_name == "p1" and r.completed_at > 4.0
+            for r in result.records.values()
+        )
+        completions = [
+            result.records[f"item-{i}"].completed_at for i in range(8)
+        ]
+        assert completions == sorted(completions)
+
     def test_all_paths_failed_raises_on_collect(self):
         network, paths, runner, txn = make_setup(
             [mbps(8)], [4 * MB], "GRD"
