@@ -20,14 +20,14 @@ below that share caps the cellular bytes, leaving ``max((S−b)/a, b/c)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.netsim.diurnal import MOBILE_PROFILE, WIRED_PROFILE, DiurnalProfile
 from repro.traces.dslam import DslamTrace
 from repro.traces.mno import MnoDataset
-from repro.util.units import MB, mbps
+from repro.util.units import MB, bytes_to_bits, mbps, transfer_seconds
 from repro.util.validate import check_fraction, check_non_negative, check_positive
 
 #: §6 working values: two HSPA+ devices at 20 MB/day each.
@@ -59,18 +59,19 @@ def split_transfer(
     check_positive("size_bytes", size_bytes)
     check_positive("adsl_bps", adsl_bps)
     check_non_negative("cellular_bps", cellular_bps)
-    if budget_bytes != float("inf"):  # inf = the unbudgeted regime
+    # The inf sentinel is an exact value, not float arithmetic.
+    if budget_bytes != float("inf"):  # repro-lint: disable=RL005
         check_non_negative("budget_bytes", budget_bytes)
     if (
         cellular_bps <= adsl_bps * 1e-9  # negligible assist: skip (and
         or budget_bytes <= 0.0           # avoid subnormal-float artefacts)
     ):
-        return size_bytes * 8.0 / adsl_bps, 0.0
+        return transfer_seconds(size_bytes, adsl_bps), 0.0
     fair_share = size_bytes * cellular_bps / (adsl_bps + cellular_bps)
     onloaded = min(fair_share, budget_bytes, size_bytes)
     duration = max(
-        (size_bytes - onloaded) * 8.0 / adsl_bps,
-        onloaded * 8.0 / cellular_bps,
+        transfer_seconds(size_bytes - onloaded, adsl_bps),
+        transfer_seconds(onloaded, cellular_bps),
     )
     return duration, onloaded
 
@@ -95,7 +96,7 @@ def per_user_speedups(
     trace: DslamTrace,
     daily_budget_bytes: float = DEFAULT_DAILY_BUDGET_BYTES,
     cellular_bps: float = DEFAULT_CELLULAR_BPS,
-    adsl_bps: float = None,
+    adsl_bps: Optional[float] = None,
 ) -> List[UserSpeedup]:
     """Fig. 11 (a): boost every video under the daily budget.
 
@@ -114,7 +115,7 @@ def per_user_speedups(
         onloaded_bytes = 0.0
         remaining = daily_budget_bytes
         for request in requests:
-            dsl_total += request.size_bytes * 8.0 / adsl_bps
+            dsl_total += transfer_seconds(request.size_bytes, adsl_bps)
             duration, used = split_transfer(
                 request.size_bytes, adsl_bps, cellular_bps, remaining
             )
@@ -184,7 +185,7 @@ def onloaded_load_series(
     budgeted = np.zeros(n_bins)
     unbudgeted = np.zeros(n_bins)
     adsl_bps = trace.adsl_down_bps
-    for user_id, requests in trace.requests_by_user().items():
+    for requests in trace.requests_by_user().values():
         remaining = daily_budget_bytes
         boosted_one = False
         for request in requests:
@@ -206,8 +207,9 @@ def onloaded_load_series(
                 boosted_one = True
     return OnloadLoadSeries(
         bin_seconds=bin_seconds,
-        budgeted_bps=budgeted * 8.0 / bin_seconds,
-        unbudgeted_bps=unbudgeted * 8.0 / bin_seconds,
+        # bytes_to_bits is array-safe; transfer_rate validates scalars.
+        budgeted_bps=bytes_to_bits(budgeted) / bin_seconds,
+        unbudgeted_bps=bytes_to_bits(unbudgeted) / bin_seconds,
         backhaul_bps=backhaul_bps,
     )
 

@@ -30,6 +30,7 @@ from repro.netsim.topology import (
     LocationProfile,
     MEASUREMENT_LOCATIONS,
 )
+from repro.util.units import rate_to_mbps
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -148,8 +149,8 @@ def _print_locations(
     for location in locations:
         print(
             f"  {location.name:<10s} "
-            f"{location.adsl_down_bps / 1e6:5.2f}/"
-            f"{location.adsl_up_bps / 1e6:5.2f} Mbps  "
+            f"{rate_to_mbps(location.adsl_down_bps):5.2f}/"
+            f"{rate_to_mbps(location.adsl_up_bps):5.2f} Mbps  "
             f"{location.signal_dbm:4.0f} dBm  {location.description}"
         )
 

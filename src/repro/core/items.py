@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
+from repro.util.units import bytes_to_megabytes
 from repro.util.validate import check_positive
 
 
@@ -87,7 +88,8 @@ class Transaction:
     def __repr__(self) -> str:
         return (
             f"Transaction({self.name!r}, {len(self.items)} items, "
-            f"{self.total_bytes / 1e6:.2f} MB, {self.direction.value})"
+            f"{bytes_to_megabytes(self.total_bytes):.2f} MB, "
+            f"{self.direction.value})"
         )
 
 

@@ -12,6 +12,7 @@ availability on the Wi-Fi network."
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -75,10 +76,8 @@ class PermitServer:
         self._revocation_listeners.append(callback)
 
         def unsubscribe() -> None:
-            try:
+            with contextlib.suppress(ValueError):
                 self._revocation_listeners.remove(callback)
-            except ValueError:
-                pass
 
         return unsubscribe
 

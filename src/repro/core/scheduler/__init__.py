@@ -20,6 +20,8 @@ per-flow stall watchdog, and structured
 :class:`~repro.core.scheduler.runner.DegradationEvent` logging.
 """
 
+from typing import Any, Dict, Type
+
 from repro.core.scheduler.base import (
     PathWorker,
     SchedulingPolicy,
@@ -38,7 +40,7 @@ from repro.core.scheduler.runner import (
     TransactionRunner,
 )
 
-POLICIES = {
+POLICIES: Dict[str, Type[SchedulingPolicy]] = {
     "GRD": GreedyPolicy,
     "RR": RoundRobinPolicy,
     "MIN": MinTimePolicy,
@@ -47,7 +49,7 @@ POLICIES = {
 }
 
 
-def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+def make_policy(name: str, **kwargs: Any) -> SchedulingPolicy:
     """Build a policy by its paper abbreviation (GRD, RR, MIN)."""
     try:
         cls = POLICIES[name.upper()]

@@ -46,7 +46,7 @@ def attach_deadlines(items: Sequence[TransferItem]) -> List[TransferItem]:
     the sum of the durations of the segments before it.
     """
     clock = 0.0
-    out = []
+    out: List[TransferItem] = []
     for item in items:
         item.metadata[DEADLINE_KEY] = clock
         clock += float(item.metadata.get("duration_s", 0.0))
@@ -95,7 +95,7 @@ class DeadlinePolicy(SchedulingPolicy):
         self._started_at = None
 
     def _inflight_candidates(self, worker: PathWorker) -> List[TransferItem]:
-        candidates = []
+        candidates: List[TransferItem] = []
         for other in self._workers:
             if other is worker:
                 continue
@@ -131,13 +131,17 @@ class DeadlinePolicy(SchedulingPolicy):
             return WorkAssignment(item=urgent, duplicate=True)
         return None
 
-    def on_item_failed(self, worker, item, now: float) -> None:
+    def on_item_failed(
+        self, worker: PathWorker, item: TransferItem, now: float
+    ) -> None:
         """Re-queue the failed item in deadline order."""
         if item not in self._pending:
             self._pending.append(item)
             self._pending.sort(key=item_deadline)
 
-    def on_membership_change(self, workers, now: float) -> None:
+    def on_membership_change(
+        self, workers: Sequence[PathWorker], now: float
+    ) -> None:
         """Track joined/re-joined paths for the urgency duplication scan."""
         self._workers = tuple(workers)
 

@@ -69,7 +69,7 @@ class GreedyPolicy(SchedulingPolicy):
         # flight on another path — by first scheduling time, i.e. the item
         # that has been in the system longest, the one most likely stuck
         # behind a slow path.
-        candidates = []
+        candidates: List[TransferItem] = []
         for other in self._workers:
             if other is worker:
                 continue
@@ -84,12 +84,16 @@ class GreedyPolicy(SchedulingPolicy):
         )
         return WorkAssignment(item=oldest, duplicate=True)
 
-    def on_item_failed(self, worker, item, now: float) -> None:
+    def on_item_failed(
+        self, worker: PathWorker, item: TransferItem, now: float
+    ) -> None:
         """Re-queue the failed item at the head (it is the most overdue)."""
         if item not in self._pending:
             self._pending.insert(0, item)
 
-    def on_membership_change(self, workers, now: float) -> None:
+    def on_membership_change(
+        self, workers: Sequence[PathWorker], now: float
+    ) -> None:
         """Track joined/re-joined paths for the endgame duplication scan."""
         self._workers = tuple(workers)
 

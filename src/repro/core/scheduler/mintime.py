@@ -32,7 +32,7 @@ from repro.core.scheduler.base import (
     WorkAssignment,
 )
 from repro.util.stats import ewma_update
-from repro.util.units import mbps
+from repro.util.units import mbps, transfer_rate, transfer_seconds
 from repro.util.validate import check_positive
 
 #: The paper's exponential-smoothing weight for new samples.
@@ -106,7 +106,7 @@ class MinTimePolicy(SchedulingPolicy):
         # Application-level goodput: the sample includes request overhead
         # and (on 3G) radio acquisition — exactly what a real client would
         # measure, and a key source of the estimator's trouble.
-        sample = item.size_bytes * 8.0 / duration
+        sample = transfer_rate(item.size_bytes, duration)
         self._estimates[worker.index] = ewma_update(
             self._estimates.get(worker.index), sample, self.smoothing
         )
@@ -120,9 +120,13 @@ class MinTimePolicy(SchedulingPolicy):
         )
         return queued + worker.remaining_bytes
 
-    def _estimated_finish(self, worker: PathWorker, extra_bytes: float) -> float:
+    def _estimated_finish(
+        self, worker: PathWorker, extra_bytes: float
+    ) -> float:
         bandwidth = self.estimated_bandwidth(worker)
-        return (self._backlog_bytes(worker) + extra_bytes) * 8.0 / bandwidth
+        return transfer_seconds(
+            self._backlog_bytes(worker) + extra_bytes, bandwidth
+        )
 
     def _flush(self) -> None:
         alive = [w for w in self._workers if w.available]
@@ -162,7 +166,9 @@ class MinTimePolicy(SchedulingPolicy):
                 )
         return None
 
-    def on_item_failed(self, worker: PathWorker, item, now: float) -> None:
+    def on_item_failed(
+        self, worker: PathWorker, item: TransferItem, now: float
+    ) -> None:
         """Re-commit the failed item and the dead queue by estimate.
 
         During a total blackout (no path alive) the stranded items go
@@ -189,7 +195,9 @@ class MinTimePolicy(SchedulingPolicy):
             if moved not in queue:
                 queue.append(moved)
 
-    def on_membership_change(self, workers, now: float) -> None:
+    def on_membership_change(
+        self, workers: Sequence[PathWorker], now: float
+    ) -> None:
         """Track the new worker set and create its queue/estimate slots."""
         self._workers = tuple(workers)
         for worker in workers:

@@ -27,6 +27,7 @@ class RoundRobinPolicy(SchedulingPolicy):
     name = "RR"
 
     def __init__(self) -> None:
+        self._workers: Sequence[PathWorker] = ()
         self._queues: Dict[int, List[TransferItem]] = {}
         #: Items stranded while *no* path was alive (total blackout):
         #: any path asking for work drains these first.
@@ -52,7 +53,9 @@ class RoundRobinPolicy(SchedulingPolicy):
             return WorkAssignment(item=queue.pop(0), duplicate=False)
         return None
 
-    def on_item_failed(self, worker: PathWorker, item, now: float) -> None:
+    def on_item_failed(
+        self, worker: PathWorker, item: TransferItem, now: float
+    ) -> None:
         """Move the failed item (and the dead path's queue) elsewhere.
 
         RR has no work stealing, so recovery must migrate the whole
@@ -61,7 +64,6 @@ class RoundRobinPolicy(SchedulingPolicy):
         total blackout (no path alive) the stranded items wait in the
         orphan list until any path re-joins — items are never lost.
         """
-        self._workers = getattr(self, "_workers", ())
         stranded = [item] + self._queues.get(worker.index, [])
         self._queues[worker.index] = []
         alive = [w for w in self._workers if w.available]
@@ -76,7 +78,9 @@ class RoundRobinPolicy(SchedulingPolicy):
             if moved not in queue:
                 queue.append(moved)
 
-    def on_membership_change(self, workers, now: float) -> None:
+    def on_membership_change(
+        self, workers: Sequence[PathWorker], now: float
+    ) -> None:
         """Re-deal the unstarted items cyclically over the live set.
 
         Called when a path joins or re-joins. RR stays static *between*

@@ -32,6 +32,7 @@ from repro.core.items import Transaction, TransferItem
 from repro.core.scheduler.base import PathWorker, SchedulingPolicy
 from repro.netsim.fluid import Flow, FluidNetwork
 from repro.netsim.path import NetworkPath
+from repro.util.units import transfer_rate
 
 
 @dataclass
@@ -149,7 +150,7 @@ class TransactionResult:
         """Payload bits delivered per second of transaction time."""
         if self.total_time <= 0.0:
             return math.inf
-        return self.payload_bytes * 8.0 / self.total_time
+        return transfer_rate(self.payload_bytes, self.total_time)
 
     @property
     def overhead_fraction(self) -> float:
@@ -646,7 +647,7 @@ on_item_failed` hook re-queues the stranded item after the retry
 
     def collect_result(self) -> TransactionResult:
         """Build the result of a finished transaction."""
-        if not self._items_total:
+        if not self._items_total or self._transaction is None:
             raise RuntimeError("no transaction was started")
         if self._finished_at is None:
             missing = sorted(

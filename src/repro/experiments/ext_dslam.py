@@ -22,7 +22,7 @@ from repro.netsim.fluid import Flow
 from repro.netsim.link import Link
 from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
 from repro.util.stats import RunningStats
-from repro.util.units import MB, mbps
+from repro.util.units import MB, mbps, rate_to_mbps
 from repro.web.hls import make_bipbop_video
 
 LOCATION = LocationProfile(
@@ -87,7 +87,8 @@ class DslamContentionResult:
             rows,
             title=(
                 "Extension — Q4 download under DSLAM oversubscription "
-                f"({self.backhaul_bps / 1e6:.0f} Mbps backhaul, 2 phones)"
+                f"({rate_to_mbps(self.backhaul_bps):.0f} Mbps backhaul, "
+                f"2 phones)"
             ),
         )
 

@@ -28,7 +28,7 @@ from repro.netsim.path import NetworkPath
 from repro.netsim.topology import Household, HouseholdConfig
 from repro.experiments.fig06_scheduler import TESTBED_LOCATION
 from repro.util.stats import RunningStats
-from repro.util.units import MB, kbps, mbps
+from repro.util.units import MB, bytes_to_megabytes, kbps, mbps
 from repro.web.hls import make_bipbop_video
 
 
@@ -106,7 +106,7 @@ def _steady_regime(seeds: Sequence[int]) -> DuplicationCell:
             result = runner.run(Transaction(items))
             if enable:
                 with_dup.add(result.total_time)
-                waste.add(result.wasted_bytes / 1e6)
+                waste.add(bytes_to_megabytes(result.wasted_bytes))
             else:
                 without_dup.add(result.total_time)
     return DuplicationCell(
@@ -150,7 +150,7 @@ def _degrading_regime(seeds: Sequence[int]) -> DuplicationCell:
             result = runner.run(Transaction(items), until=600.0)
             if enable:
                 with_dup.add(result.total_time)
-                waste.add(result.wasted_bytes / 1e6)
+                waste.add(bytes_to_megabytes(result.wasted_bytes))
             else:
                 without_dup.add(result.total_time)
     return DuplicationCell(

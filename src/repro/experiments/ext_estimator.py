@@ -81,15 +81,13 @@ class EstimatorAblationResult:
     def paper_choice_on_frontier(self) -> bool:
         """No grid point dominates the paper's (more use, fewer overruns)."""
         chosen = self.paper_point
-        for evaluation in self.grid.values():
-            if (
-                evaluation.utilization_of_free
-                > chosen.utilization_of_free + 1e-9
-                and evaluation.overrun_days_per_month
-                < chosen.overrun_days_per_month - 1e-9
-            ):
-                return False
-        return True
+        return not any(
+            evaluation.utilization_of_free
+            > chosen.utilization_of_free + 1e-9
+            and evaluation.overrun_days_per_month
+            < chosen.overrun_days_per_month - 1e-9
+            for evaluation in self.grid.values()
+        )
 
     def to_dict(self) -> dict:
         """JSON-ready payload of every field (``repro run --json``)."""

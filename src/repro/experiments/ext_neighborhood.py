@@ -126,7 +126,7 @@ def _run_round(
         if not network.step(max_time=deadline):
             break
     times = []
-    for home_id, runner in runners:
+    for _home_id, runner in runners:
         result = runner.collect_result()
         times.append(result.total_time)
     return times

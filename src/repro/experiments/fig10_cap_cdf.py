@@ -12,6 +12,7 @@ from repro.analysis.stats import Ecdf
 from repro.experiments.formatting import fmt, render_table
 from repro.experiments.registry import experiment, jsonable
 from repro.traces.mno import generate_mno_dataset
+from repro.util.units import bytes_to_megabytes
 
 
 @dataclass(frozen=True)
@@ -76,5 +77,5 @@ def run(n_users: int = 5000, seed: int = 0) -> CapCdfResult:
         fraction_below_10pct=ecdf.fraction_below(0.10),
         fraction_below_50pct=ecdf.fraction_below(0.50),
         mean_fraction=float(fractions.mean()),
-        mean_daily_free_mb=dataset.mean_daily_free_bytes / 1e6,
+        mean_daily_free_mb=bytes_to_megabytes(dataset.mean_daily_free_bytes),
     )

@@ -17,6 +17,7 @@ from repro.analysis.load import OnloadLoadSeries, onloaded_load_series
 from repro.experiments.formatting import fmt, render_table
 from repro.experiments.registry import experiment, jsonable
 from repro.traces.dslam import generate_dslam_trace
+from repro.util.units import bits_to_bytes, bytes_to_megabytes, rate_to_mbps
 
 
 @dataclass(frozen=True)
@@ -41,22 +42,26 @@ class OnloadLoadResult:
             rows.append(
                 (
                     hour,
-                    fmt(max(self.series.budgeted_bps[lo:hi]) / 1e6, 1),
-                    fmt(max(self.series.unbudgeted_bps[lo:hi]) / 1e6, 1),
+                    fmt(rate_to_mbps(max(self.series.budgeted_bps[lo:hi])), 1),
+                    fmt(
+                        rate_to_mbps(max(self.series.unbudgeted_bps[lo:hi])), 1
+                    ),
                 )
             )
+        backhaul_mbps = rate_to_mbps(self.series.backhaul_bps)
         table = render_table(
             ["hour", "budgeted peak (Mbps)", "unbudgeted peak (Mbps)"],
             rows,
             title=(
                 "Fig. 11b — onloaded cellular load "
-                f"(backhaul capacity {self.series.backhaul_bps / 1e6:.0f} Mbps)"
+                f"(backhaul capacity {backhaul_mbps:.0f} Mbps)"
             ),
         )
         claims = (
-            f"\nbudgeted peak: {self.series.budgeted_peak_bps / 1e6:.1f} Mbps"
+            "\nbudgeted peak: "
+            f"{rate_to_mbps(self.series.budgeted_peak_bps):.1f} Mbps"
             f" | unbudgeted peak: "
-            f"{self.series.unbudgeted_peak_bps / 1e6:.1f} Mbps"
+            f"{rate_to_mbps(self.series.unbudgeted_peak_bps):.1f} Mbps"
             f"\nbudgeted bins over capacity: "
             f"{self.series.budgeted_overload_fraction():.1%}"
             f" | unbudgeted bins over capacity: "
@@ -87,11 +92,13 @@ def run(n_subscribers: int = 2000, seed: int = 0) -> OnloadLoadResult:
     trace = generate_dslam_trace(n_subscribers=n_subscribers, seed=seed)
     series = onloaded_load_series(trace)
     total_budgeted_bytes = float(
-        (series.budgeted_bps * series.bin_seconds / 8.0).sum()
+        bits_to_bytes(series.budgeted_bps * series.bin_seconds).sum()
     )
     n_video_users = len(trace.video_users)
     return OnloadLoadResult(
         series=series,
-        mean_onload_mb_per_user=total_budgeted_bytes / n_video_users / 1e6,
+        mean_onload_mb_per_user=bytes_to_megabytes(
+            total_budgeted_bytes / n_video_users
+        ),
         n_video_users=n_video_users,
     )

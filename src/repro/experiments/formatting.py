@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from repro.util.units import rate_to_mbps
+
 
 def render_table(
     headers: Sequence[str],
@@ -48,4 +50,4 @@ def fmt(value: float, digits: int = 2) -> str:
 
 def fmt_mbps(bps: float, digits: int = 2) -> str:
     """Format a bits/second rate in Mbps."""
-    return f"{bps / 1e6:.{digits}f}"
+    return f"{rate_to_mbps(bps):.{digits}f}"

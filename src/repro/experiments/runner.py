@@ -23,6 +23,7 @@ for every N.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
@@ -162,13 +163,11 @@ class ResultCache:
     ) -> None:
         """Store ``entry``; cache failures are non-fatal."""
         path = self._path(experiment_id, self.key(experiment_id, params))
-        try:
+        with contextlib.suppress(OSError):
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
             tmp.write_text(json.dumps(dict(entry)), encoding="utf-8")
             tmp.replace(path)
-        except OSError:
-            pass
 
 
 def _execute(experiment_id: str, params: Dict[str, Any]) -> Dict[str, Any]:

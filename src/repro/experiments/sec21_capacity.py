@@ -17,6 +17,7 @@ from repro.analysis.capacity import (
 )
 from repro.experiments.formatting import fmt, render_table
 from repro.experiments.registry import experiment, jsonable
+from repro.util.units import rate_to_gbps, rate_to_mbps
 
 
 @dataclass(frozen=True)
@@ -37,13 +38,16 @@ class CapacityResult:
             ("ADSL connections", fmt(c.adsl_connections, 0)),
             (
                 "ADSL aggregate downlink",
-                f"{c.adsl_aggregate_down_bps / 1e9:.3f} Gbps",
+                f"{rate_to_gbps(c.adsl_aggregate_down_bps):.3f} Gbps",
             ),
             (
                 "ADSL aggregate uplink",
-                f"{c.adsl_aggregate_up_bps / 1e9:.3f} Gbps",
+                f"{rate_to_gbps(c.adsl_aggregate_up_bps):.3f} Gbps",
             ),
-            ("cell backhaul", f"{c.cell_backhaul_bps / 1e6:.0f} Mbps"),
+            (
+                "cell backhaul",
+                f"{rate_to_mbps(c.cell_backhaul_bps):.0f} Mbps",
+            ),
             ("down ratio (ADSL/cell)", fmt(c.down_ratio, 1)),
             ("orders of magnitude", fmt(c.down_orders_of_magnitude, 2)),
         ]

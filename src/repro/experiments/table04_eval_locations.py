@@ -21,7 +21,7 @@ from repro.netsim.topology import (
     HouseholdConfig,
     LocationProfile,
 )
-from repro.util.units import MB
+from repro.util.units import MB, transfer_rate
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,7 @@ def _speedtest(household: Household, direction: str) -> float:
         raise RuntimeError(f"speed test on {path.name} never completed")
     # Subtract the request overhead the way speed-test tools do.
     overhead = path.rtt.request_overhead(fresh_connection=True)
-    return size * 8.0 / (finished[0] - start - overhead)
+    return transfer_rate(size, finished[0] - start - overhead)
 
 
 @experiment(

@@ -1,0 +1,58 @@
+"""repro-lint: AST-based invariant checks for the reproduction.
+
+A self-contained static-analysis layer that enforces the conventions
+the simulator's correctness rests on:
+
+* **RL001** — stochastic code draws from seeded RngFactory streams;
+* **RL002** — unit conversions go through :mod:`repro.util.units`;
+* **RL003** — experiment modules honour the ``@experiment`` contract;
+* **RL004** — recovery paths never swallow exceptions;
+* **RL005** — no exact ``==`` on simulated clocks or byte volumes.
+
+Run it with the ``repro-lint`` console script (see
+:mod:`repro.lint.cli`), or programmatically via :func:`lint_source` /
+:func:`lint_paths`. Suppress a justified exception inline with
+``# repro-lint: disable=<code>``.
+"""
+
+from repro.lint.core import (
+    PARSE_ERROR_CODE,
+    DuplicateRuleError,
+    Finding,
+    LintError,
+    LintRun,
+    ModuleContext,
+    Rule,
+    UnknownRuleError,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    repro_relative_parts,
+    rule,
+    select_rules,
+)
+from repro.lint.reporters import render_json, render_text, run_payload
+
+__all__ = [
+    "PARSE_ERROR_CODE",
+    "DuplicateRuleError",
+    "Finding",
+    "LintError",
+    "LintRun",
+    "ModuleContext",
+    "Rule",
+    "UnknownRuleError",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "repro_relative_parts",
+    "render_json",
+    "render_text",
+    "rule",
+    "run_payload",
+    "select_rules",
+]

@@ -1,0 +1,106 @@
+"""The ``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint src/                      # text report, exit 1 on findings
+    repro-lint src/ --format json        # CI-friendly payload
+    repro-lint src/ --select RL001,RL004 # run a subset
+    repro-lint src/ --ignore RL005
+    repro-lint --list-rules
+
+Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule, missing
+path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.core import UnknownRuleError, lint_paths, select_rules
+from repro.lint.reporters import render_json, render_rule_list, render_text
+
+__all__ = ["main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _split_codes(value: Optional[str]) -> List[str]:
+    if not value:
+        return []
+    return [code.strip() for code in value.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the 3GOL reproduction "
+            "(determinism, units, registry contract, exception hygiene, "
+            "float equality)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories recurse *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        rules = select_rules(
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except UnknownRuleError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        run = lint_paths(args.paths, rules=rules)
+    except OSError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(render_json(run))
+    else:
+        print(render_text(run))
+    return EXIT_CLEAN if run.ok else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via tests
+    sys.exit(main())

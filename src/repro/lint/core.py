@@ -1,0 +1,368 @@
+"""The repro-lint framework: findings, rules, registry, engine.
+
+The reproduction's correctness rests on conventions nothing in the
+language enforces — every stochastic component draws from a seeded
+stream, every bytes<->bits conversion goes through
+:mod:`repro.util.units`, every experiment module honours the registry
+contract. This module is the machinery that turns those conventions
+into checkable rules:
+
+* :class:`Finding` — one violation, anchored to a file/line/column;
+* :class:`Rule` — a named check over one module's AST;
+* a rule registry mirroring the experiment registry
+  (:func:`rule` decorator, :func:`all_rules`, :func:`get_rule`);
+* per-line suppression via ``# repro-lint: disable=RL001[,RL002]``
+  (or a bare ``disable`` to silence every rule on that line);
+* :func:`lint_source` / :func:`lint_paths` — the engine that parses,
+  scopes and runs every selected rule.
+
+The domain rules themselves live in :mod:`repro.lint.rules`; reporters
+in :mod:`repro.lint.reporters`; the console entry point in
+:mod:`repro.lint.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+__all__ = [
+    "DuplicateRuleError",
+    "Finding",
+    "LintError",
+    "LintRun",
+    "ModuleContext",
+    "Rule",
+    "UnknownRuleError",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "repro_relative_parts",
+    "rule",
+    "select_rules",
+]
+
+#: Code used for files the engine cannot parse at all.
+PARSE_ERROR_CODE = "RL000"
+
+
+class LintError(Exception):
+    """Base class for lint framework failures."""
+
+
+class DuplicateRuleError(LintError):
+    """Two rules tried to register the same code."""
+
+
+class UnknownRuleError(LintError):
+    """Lookup or selection of a code nothing registered."""
+
+    def __init__(self, code: str, available: Tuple[str, ...]):
+        self.code = code
+        self.available = available
+        super().__init__(
+            f"unknown rule {code!r}; available: " + ", ".join(available)
+        )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable anchor of the finding."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record (one element of ``--format json`` output)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may look at for one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Path parts relative to the ``repro`` package root (empty tuple
+    #: when the file is not under a ``repro`` directory); rules use this
+    #: for scoping so the checker behaves the same from any CWD.
+    rel_parts: Tuple[str, ...] = ()
+
+    def finding(
+        self, code: str, message: str, node: ast.AST
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            code=code,
+            message=message,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+class Rule:
+    """One named invariant check over a module's AST.
+
+    Subclasses set :attr:`code`, :attr:`title` and :attr:`rationale`
+    (all surfaced by ``repro-lint --list-rules`` and the README), scope
+    themselves via :meth:`applies_to`, and yield findings from
+    :meth:`check`. Rules are stateless: one instance serves every file.
+    """
+
+    #: Short identifier, ``RL`` + three digits.
+    code: str = "RL???"
+    #: One-line summary of what the rule forbids.
+    title: str = ""
+    #: Why the invariant matters for the reproduction.
+    rationale: str = ""
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        """Whether this rule runs on the module at all (path scoping)."""
+        return True
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation found in ``context.tree``."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` subclass by its code."""
+    instance = cls()
+    existing = _REGISTRY.get(instance.code)
+    if existing is not None:
+        raise DuplicateRuleError(
+            f"rule code {instance.code!r} registered twice "
+            f"({type(existing).__name__} and {cls.__name__})"
+        )
+    _REGISTRY[instance.code] = instance
+    return cls
+
+
+def _ensure_rules_loaded() -> None:
+    # Import-driven registration, like the experiment registry: the
+    # domain rules register when their module is first imported.
+    import repro.lint.rules  # noqa: F401
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, ordered by code."""
+    _ensure_rules_loaded()
+    return tuple(
+        _REGISTRY[code] for code in sorted(_REGISTRY)
+    )
+
+
+def get_rule(code: str) -> Rule:
+    """The rule registered under ``code``; raises UnknownRuleError."""
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise UnknownRuleError(
+            code, tuple(sorted(_REGISTRY))
+        ) from None
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Tuple[Rule, ...]:
+    """The rule set after ``--select`` / ``--ignore`` filtering."""
+    chosen: Iterable[Rule]
+    if select:
+        chosen = tuple(get_rule(code) for code in select)
+    else:
+        chosen = all_rules()
+    if ignore:
+        dropped = {get_rule(code).code for code in ignore}
+        chosen = tuple(r for r in chosen if r.code not in dropped)
+    return tuple(chosen)
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+?))?\s*(?:#|$)"
+)
+
+
+def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppressions from ``# repro-lint: disable=...`` comments.
+
+    Returns ``{line_number: codes}`` where ``codes`` is the set of
+    suppressed rule codes, or ``None`` for a bare ``disable`` that
+    silences every rule on that line. Line numbers are 1-based.
+    """
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = None
+        else:
+            parsed = {
+                code.strip() for code in codes.split(",") if code.strip()
+            }
+            previous = suppressions.get(lineno, set())
+            if previous is None:
+                continue
+            suppressions[lineno] = previous | parsed
+    return suppressions
+
+
+def _suppressed(
+    finding: Finding, suppressions: Dict[int, Optional[Set[str]]]
+) -> bool:
+    codes = suppressions.get(finding.line, set())
+    return codes is None or finding.code in (codes or ())
+
+
+# ---------------------------------------------------------------------------
+# Path scoping
+# ---------------------------------------------------------------------------
+
+
+def repro_relative_parts(path: str) -> Tuple[str, ...]:
+    """Path parts relative to the last ``repro`` directory in ``path``.
+
+    ``src/repro/core/scheduler/runner.py`` becomes
+    ``("core", "scheduler", "runner.py")``. Files not under a ``repro``
+    directory return an empty tuple (rules then fall back to matching
+    the raw path, so fixtures with synthetic paths still scope).
+    """
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return tuple(parts[index + 1:])
+    return ()
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over one module's source."""
+    active = tuple(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code=PARSE_ERROR_CODE,
+                message=f"cannot parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    context = ModuleContext(
+        path=path,
+        source=source,
+        tree=tree,
+        rel_parts=repro_relative_parts(path),
+    )
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    for active_rule in active:
+        if not active_rule.applies_to(context):
+            continue
+        for finding in active_rule.check(context):
+            if not _suppressed(finding, suppressions):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Every ``*.py`` file under ``paths`` (files pass through as-is)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+@dataclass
+class LintRun:
+    """Outcome of linting a set of paths."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding survived suppression."""
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        """Finding count per rule code."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    on_file: Optional[Callable[[Path], None]] = None,
+) -> LintRun:
+    """Lint every Python file under ``paths``."""
+    run = LintRun()
+    for file_path in iter_python_files(paths):
+        if on_file is not None:
+            on_file(file_path)
+        run.files_checked += 1
+        source = file_path.read_text(encoding="utf-8")
+        run.findings.extend(
+            lint_source(source, path=str(file_path), rules=rules)
+        )
+    run.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return run

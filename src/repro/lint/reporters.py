@@ -1,0 +1,58 @@
+"""Finding reporters: text for humans, JSON for CI.
+
+Both render a :class:`~repro.lint.core.LintRun` deterministically
+(findings are already sorted by path/line/col/code), so CI diffs are
+stable run to run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.lint.core import LintRun, all_rules
+
+__all__ = ["render_json", "render_text", "run_payload"]
+
+
+def render_text(run: LintRun) -> str:
+    """The classic linter layout: one ``path:line:col: CODE message``
+    per finding, then a one-line summary."""
+    lines = [
+        f"{finding.location()}: {finding.code} {finding.message}"
+        for finding in run.findings
+    ]
+    noun = "finding" if len(run.findings) == 1 else "findings"
+    lines.append(
+        f"{len(run.findings)} {noun} in {run.files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+def run_payload(run: LintRun) -> Dict[str, Any]:
+    """The JSON-ready payload of one lint run."""
+    return {
+        "findings": [finding.to_dict() for finding in run.findings],
+        "summary": {
+            "files_checked": run.files_checked,
+            "findings": len(run.findings),
+            "by_rule": run.by_rule(),
+            "ok": run.ok,
+        },
+    }
+
+
+def render_json(run: LintRun) -> str:
+    """``--format json`` output (sorted keys, trailing newline-free)."""
+    return json.dumps(run_payload(run), indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules`` output: code, title and rationale per rule."""
+    blocks = []
+    for lint_rule in all_rules():
+        blocks.append(
+            f"{lint_rule.code}  {lint_rule.title}\n"
+            f"       {lint_rule.rationale}"
+        )
+    return "\n".join(blocks)

@@ -18,11 +18,14 @@ reproducible across runs and worker counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.util.validate import check_non_negative, check_positive
+
+if TYPE_CHECKING:
+    from repro.netsim.fluid import FluidNetwork
 
 #: Fault kinds, in the order the prototype encounters them.
 KIND_FLAP = "flap"
@@ -333,7 +336,7 @@ class FaultSchedule:
 
     def arm(
         self,
-        network,
+        network: "FluidNetwork",
         on_down: Callable[[FaultEvent], None],
         on_up: Callable[[FaultEvent], None],
         horizon: float,

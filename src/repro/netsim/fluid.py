@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.netsim.engine import EventQueue, ScheduledEvent, run_callback
 from repro.netsim.link import Link, validate_chain
+from repro.util.units import bits_to_bytes, bytes_to_bits
 from repro.util.validate import check_non_negative
 
 #: Residual volume (bytes) below which a flow counts as complete. The
@@ -268,7 +269,7 @@ class FluidNetwork:
         for flow in self._flows:
             rate = self._current_rates.get(flow, 0.0)
             if rate > 0.0:
-                eta = self.time + (flow.remaining_bytes * 8.0) / rate
+                eta = self.time + bytes_to_bits(flow.remaining_bytes) / rate
                 boundary = min(boundary, eta)
             for link in flow.links:
                 if link in seen_links:
@@ -286,7 +287,7 @@ class FluidNetwork:
         if dt > 0.0:
             for flow in list(self._flows):
                 rate = self._current_rates.get(flow, 0.0)
-                moved = min(flow.remaining_bytes, rate * dt / 8.0)
+                moved = min(flow.remaining_bytes, bits_to_bytes(rate * dt))
                 flow.remaining_bytes -= moved
                 for link in flow.links:
                     self.link_bytes[link.name] = (

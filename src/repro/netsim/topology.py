@@ -290,7 +290,7 @@ class Household:
         )
         self.phones: List[CellularDevice] = []
         self._attach_rng = rng_factory.derive("attach")
-        for i in range(self.config.n_phones):
+        for _ in range(self.config.n_phones):
             self.add_phone(signal_dbm=location.signal_dbm)
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.pilot.workload import HouseholdPlan, PhotoUploadEvent, VideoEvent
 from repro.traces.pictures import generate_photo_set
 from repro.util.rng import RngFactory
 from repro.util.stats import RunningStats
+from repro.util.units import bytes_to_megabytes
 
 
 @dataclass(frozen=True)
@@ -99,9 +100,10 @@ class PilotReport:
         """Average cellular volume spent per household over the day."""
         if not self.outcomes:
             return 0.0
-        return sum(
-            o.total_onloaded_bytes for o in self.outcomes
-        ) / len(self.outcomes) / 1e6
+        return bytes_to_megabytes(
+            sum(o.total_onloaded_bytes for o in self.outcomes)
+            / len(self.outcomes)
+        )
 
     def phones_over_budget(self) -> int:
         """Phones whose day's onloading exceeded the daily budget."""

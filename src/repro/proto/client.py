@@ -11,6 +11,7 @@ flag between receive chunks and drop the connection).
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import threading
 import time
@@ -70,20 +71,16 @@ class _Endpoint:
     def connect(self) -> socket.socket:
         """(Re)open the persistent connection."""
         if self.sock is not None:
-            try:
+            with contextlib.suppress(OSError):
                 self.sock.close()
-            except OSError:
-                pass
         self.sock = socket.create_connection(self.address, timeout=30.0)
         return self.sock
 
     def close(self) -> None:
         """Drop the connection."""
         if self.sock is not None:
-            try:
+            with contextlib.suppress(OSError):
                 self.sock.close()
-            except OSError:
-                pass
             self.sock = None
 
 

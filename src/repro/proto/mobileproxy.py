@@ -10,6 +10,7 @@ have different buckets).
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import threading
 from typing import Optional, Tuple
@@ -57,10 +58,8 @@ class MobileProxy:
     def stop(self) -> None:
         """Stop the proxy."""
         self._running = False
-        try:
+        with contextlib.suppress(OSError):
             self._server.close()
-        except OSError:
-            pass
 
     def __enter__(self) -> "MobileProxy":
         return self.start()
@@ -130,7 +129,5 @@ class MobileProxy:
             pass
         finally:
             for sock in (client, upstream):
-                try:
+                with contextlib.suppress(OSError):
                     sock.close()
-                except OSError:
-                    pass

@@ -9,6 +9,7 @@ web server with caching disabled.
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import threading
 from typing import Dict, Optional, Tuple
@@ -67,10 +68,8 @@ class LoopbackOrigin:
     def stop(self) -> None:
         """Stop the server and release the port."""
         self._running = False
-        try:
+        with contextlib.suppress(OSError):
             self._server.close()
-        except OSError:
-            pass
 
     def __enter__(self) -> "LoopbackOrigin":
         return self.start()
@@ -104,15 +103,11 @@ class LoopbackOrigin:
                 body = httpwire.read_body(conn, leftover, length)
                 leftover = b""
                 conn.sendall(self._respond(method, path, body))
-        except httpwire.WireError:
-            pass
-        except OSError:
+        except (httpwire.WireError, OSError):
             pass
         finally:
-            try:
+            with contextlib.suppress(OSError):
                 conn.close()
-            except OSError:
-                pass
 
     def _respond(self, method: str, path: str, body: bytes) -> bytes:
         path = path.split("?", 1)[0]

@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 from repro.netsim.fluid import Flow, FluidNetwork
 from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
-from repro.util.units import MB
+from repro.util.units import MB, transfer_rate
 
 #: Transfer size of the campaign ("download and upload 2 MB files").
 MEASUREMENT_FILE_BYTES = 2.0 * MB
@@ -124,7 +124,7 @@ def measure_cluster_throughput(
                 n_devices=n_devices,
                 repetition=repetition,
                 per_device_bps=tuple(
-                    file_bytes * 8.0 / d for d in durations
+                    transfer_rate(file_bytes, d) for d in durations
                 ),
                 stations=stations,
             )

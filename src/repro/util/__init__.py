@@ -18,8 +18,11 @@ from repro.util.units import (
     bytes_to_bits,
     bytes_to_megabytes,
     megabytes,
+    rate_to_gbps,
     rate_to_mbps,
     seconds_to_transfer,
+    transfer_rate,
+    transfer_seconds,
     transfer_volume,
 )
 from repro.util.rng import RngFactory, spawn_rng
@@ -42,8 +45,11 @@ __all__ = [
     "bytes_to_bits",
     "bytes_to_megabytes",
     "megabytes",
+    "rate_to_gbps",
     "rate_to_mbps",
     "seconds_to_transfer",
+    "transfer_rate",
+    "transfer_seconds",
     "transfer_volume",
     "RngFactory",
     "spawn_rng",

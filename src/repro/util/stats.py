@@ -10,7 +10,7 @@ scheduler uses to estimate per-path bandwidth (§5.1, filter parameter 0.75).
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.util.validate import check_fraction
 
@@ -37,7 +37,7 @@ class RunningStats:
         self._min = value if self._min is None else min(self._min, value)
         self._max = value if self._max is None else max(self._max, value)
 
-    def extend(self, values) -> None:
+    def extend(self, values: Iterable[float]) -> None:
         """Fold an iterable of samples into the statistics."""
         for value in values:
             self.add(value)

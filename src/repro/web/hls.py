@@ -19,7 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.util.units import kbps
+from repro.util.units import kbps, transfer_rate, transfer_volume
 from repro.util.validate import check_positive
 
 #: Default segment duration the paper keeps from the bipbop sample (§5.1).
@@ -41,7 +41,7 @@ class VideoQuality:
     def segment_bytes(self, duration_s: float) -> float:
         """Encoded size of a segment of ``duration_s`` seconds."""
         check_positive("duration_s", duration_s)
-        return self.bitrate_bps * duration_s / 8.0
+        return transfer_volume(self.bitrate_bps, duration_s)
 
 
 #: The four bipbop qualities (§5.1: 200/311/484/738 kbps).
@@ -277,10 +277,9 @@ def parse_m3u8(
     if not segments:
         raise ValueError("playlist contains no segments")
     if quality is None:
-        mean_bitrate = (
-            sum(s.size_bytes for s in segments)
-            * 8.0
-            / sum(s.duration_s for s in segments)
+        mean_bitrate = transfer_rate(
+            sum(s.size_bytes for s in segments),
+            sum(s.duration_s for s in segments),
         )
         quality = VideoQuality("parsed", mean_bitrate)
     return HlsPlaylist(video_name, quality, segments)

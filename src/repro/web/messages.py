@@ -108,7 +108,9 @@ class HttpResponse:
         if not 100 <= self.status <= 599:
             raise ValueError(f"invalid HTTP status {self.status}")
         check_non_negative("body_bytes", self.body_bytes)
-        if self.body is not None and self.body_bytes == 0.0:
+        # Zero is the dataclass default, an exact sentinel meaning
+        # "derive the volume from the body" — not float arithmetic.
+        if self.body is not None and self.body_bytes == 0.0:  # repro-lint: disable=RL005
             self.body_bytes = float(len(self.body.encode("utf-8")))
 
     @property

