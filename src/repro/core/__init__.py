@@ -41,7 +41,7 @@ from repro.core.permits import Permit, PermitServer
 from repro.core.discovery import DiscoveryRegistry, ServiceRecord
 from repro.core.mobile import MobileComponent, OperatingMode
 from repro.core.proxy import HlsAwareProxy, VideoDownloadReport
-from repro.core.resilience import TransferGuard, bind_fault_schedule
+from repro.core.resilience import DegradationLog, TransferGuard, bind_fault_schedule
 from repro.core.uploader import MultipartUploader, UploadReport
 from repro.core.session import DEFAULT_DAILY_BUDGET_BYTES, OnloadSession
 
@@ -71,6 +71,7 @@ __all__ = [
     "OperatingMode",
     "HlsAwareProxy",
     "VideoDownloadReport",
+    "DegradationLog",
     "TransferGuard",
     "bind_fault_schedule",
     "MultipartUploader",

@@ -20,11 +20,13 @@ that tie those signals to the scheduler machinery:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.mobile import MobileComponent
 from repro.core.permits import PermitServer
 from repro.core.scheduler.runner import (
+    DegradationEvent,
     ItemRecord,
     TransactionResult,
     TransactionRunner,
@@ -32,6 +34,61 @@ from repro.core.scheduler.runner import (
 from repro.netsim.faults import FaultEvent, FaultSchedule
 from repro.netsim.fluid import FluidNetwork
 from repro.netsim.path import NetworkPath
+
+
+class DegradationLog:
+    """Thread-safe collector of :class:`DegradationEvent` entries.
+
+    The simulator's :class:`TransactionRunner` records degradations on
+    its single-threaded engine; the loopback prototype's proxy and
+    client react to bad peers from many worker threads at once. This
+    log gives them the same structured vocabulary with the locking the
+    threaded data path needs: a peer that stalls or speaks garbage
+    fails one transfer, lands one event here, and the component keeps
+    serving.
+
+    The log never reads a clock — callers pass their own ``time`` (the
+    proto layer uses seconds since the component started), keeping the
+    type usable from simulated code bound by the determinism rules.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[DegradationEvent] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        kind: str,
+        time: float = 0.0,
+        path_name: str = "",
+        item_label: str = "",
+        detail: str = "",
+    ) -> DegradationEvent:
+        """Append one event (returns it, for callers that also log)."""
+        event = DegradationEvent(
+            time=time,
+            kind=kind,
+            path_name=path_name,
+            item_label=item_label,
+            detail=detail,
+        )
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> Tuple[DegradationEvent, ...]:
+        """Snapshot of every recorded event, in arrival order."""
+        with self._lock:
+            return tuple(self._events)
+
+    def of_kind(self, kind: str) -> Tuple[DegradationEvent, ...]:
+        """Events matching one ``kind`` of the shared vocabulary."""
+        return tuple(e for e in self.events if e.kind == kind)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
 
 
 class TransferGuard:

@@ -1,0 +1,149 @@
+"""The ``repro-fuzz`` console entry point.
+
+Usage::
+
+    repro-fuzz --seed 0 --iterations 2000          # all four targets
+    repro-fuzz --target m3u8 --target multipart    # a subset
+    repro-fuzz --format json                       # CI-friendly payload
+    repro-fuzz --list-targets
+
+Exit codes mirror ``repro-lint``: 0 when every target ran crash-free
+(only successes and typed ``ProtocolError`` rejections), 1 when any
+payload escaped the taxonomy, 2 on usage errors (unknown target, bad
+budget).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.fuzz.session import FuzzReport, FuzzSession
+from repro.fuzz.targets import all_targets, get_target
+
+__all__ = ["main"]
+
+EXIT_CLEAN = 0
+EXIT_CRASHES = 1
+EXIT_USAGE = 2
+
+DEFAULT_ITERATIONS = 2000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description=(
+            "Seeded, deterministic fuzzing of the 3GOL wire parsers "
+            "(HTTP heads, HTTP streams, m3u8 playlists, multipart "
+            "bodies). Same seed, same crashes."
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed (default: 0)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=DEFAULT_ITERATIONS,
+        help=f"payloads per target (default: {DEFAULT_ITERATIONS})",
+    )
+    parser.add_argument(
+        "--target",
+        action="append",
+        metavar="NAME",
+        help="fuzz only this target (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-targets",
+        action="store_true",
+        help="print every registered target and exit",
+    )
+    return parser
+
+
+def render_text(reports: Sequence[FuzzReport]) -> str:
+    lines: List[str] = []
+    total_crashes = 0
+    for report in reports:
+        verdict = "clean" if report.clean else (
+            f"{len(report.crashes)} distinct crash(es)"
+        )
+        lines.append(
+            f"{report.target}: {report.iterations} iterations, "
+            f"{report.ok} ok, {report.handled} rejected cleanly — {verdict}"
+        )
+        for crash in report.crashes:
+            total_crashes += 1
+            lines.append(
+                f"  CRASH {crash.exception_type} at {crash.site} "
+                f"(iteration {crash.iteration}, "
+                f"{crash.duplicates} duplicate(s)): {crash.message}"
+            )
+            lines.append(
+                f"    payload ({len(crash.payload)} bytes): "
+                f"{crash.payload[:64]!r}"
+            )
+    lines.append(
+        "all clean: every malformed payload was rejected with a typed "
+        "ProtocolError"
+        if total_crashes == 0
+        else f"{total_crashes} distinct crash(es) escaped the taxonomy"
+    )
+    return "\n".join(lines)
+
+
+def render_json_report(reports: Sequence[FuzzReport]) -> str:
+    return json.dumps(
+        {
+            "clean": all(report.clean for report in reports),
+            "reports": [report.to_dict() for report in reports],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_targets:
+        for target in all_targets():
+            print(f"{target.name}: {target.description}")
+        return EXIT_CLEAN
+    if args.iterations <= 0:
+        print("repro-fuzz: error: --iterations must be > 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.target:
+        try:
+            targets = tuple(get_target(name) for name in args.target)
+        except KeyError as exc:
+            print(f"repro-fuzz: error: {exc.args[0]}", file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        targets = all_targets()
+    reports = [
+        FuzzSession(target, seed=args.seed).run(args.iterations)
+        for target in targets
+    ]
+    if args.format == "json":
+        print(render_json_report(reports))
+    else:
+        print(render_text(reports))
+    clean = all(report.clean for report in reports)
+    return EXIT_CLEAN if clean else EXIT_CRASHES
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via tests
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Byte-level mutators: blind, seeded, grammar-oblivious.
+
+Each mutator is a pure function ``(rng, data) -> bytes`` drawing every
+decision from the supplied :class:`random.Random`, so a
+:class:`~repro.fuzz.session.FuzzSession` seeded identically replays the
+identical mutation stream. The set mirrors the classic AFL-style
+operators: truncation, bit flips, interesting-byte substitution,
+splicing, slice repetition (the amplification that finds missing size
+caps), slice deletion, and token insertion from a dictionary of
+wire-format landmines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Tuple
+
+Mutator = Callable[[random.Random, bytes], bytes]
+
+#: Hard ceiling on a mutated payload; repetition amplifies up to here.
+MAX_MUTANT_BYTES = 1 << 20
+
+#: Bytes that historically break naive parsers.
+INTERESTING_BYTES = (0x00, 0x0A, 0x0D, 0x20, 0x2D, 0x3A, 0x7F, 0xFF)
+
+#: Wire-format tokens worth splicing into any of the four grammars.
+TOKEN_DICTIONARY: Tuple[bytes, ...] = (
+    b"\r\n",
+    b"\r\n\r\n",
+    b"\n\n",
+    b":",
+    b": ",
+    b"-1",
+    b"+1",
+    b"0x10",
+    b"1e309",
+    b"nan",
+    b"inf",
+    b"99999999999999999999",
+    b"\x00",
+    b"Content-Length: 0",
+    b"Content-Length: 18446744073709551616",
+    b"#EXTM3U",
+    b"#EXTINF:",
+    b"#X-SIZE:",
+    b"#EXT-X-ENDLIST",
+    b"--",
+    b'name=""',
+    b"HTTP/1.1 ",
+)
+
+
+def truncate(rng: random.Random, data: bytes) -> bytes:
+    """Cut the payload at a random point (truncated peer)."""
+    if len(data) <= 1:
+        return data
+    return data[: rng.randrange(1, len(data))]
+
+
+def bit_flip(rng: random.Random, data: bytes) -> bytes:
+    """Flip 1-8 random bits."""
+    if not data:
+        return data
+    out = bytearray(data)
+    for _ in range(rng.randint(1, 8)):
+        position = rng.randrange(len(out))
+        out[position] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def byte_substitute(rng: random.Random, data: bytes) -> bytes:
+    """Overwrite 1-4 random bytes with interesting values."""
+    if not data:
+        return data
+    out = bytearray(data)
+    for _ in range(rng.randint(1, 4)):
+        out[rng.randrange(len(out))] = rng.choice(INTERESTING_BYTES)
+    return bytes(out)
+
+
+def splice(rng: random.Random, data: bytes) -> bytes:
+    """Move a random slice to a random position (reordered structure)."""
+    if len(data) < 4:
+        return data
+    start = rng.randrange(len(data) - 1)
+    end = rng.randrange(start + 1, len(data))
+    piece = data[start:end]
+    rest = data[:start] + data[end:]
+    at = rng.randrange(len(rest) + 1)
+    return rest[:at] + piece + rest[at:]
+
+
+def repeat_slice(rng: random.Random, data: bytes) -> bytes:
+    """Duplicate a random slice many times (size-cap amplification)."""
+    if not data:
+        return data
+    start = rng.randrange(len(data))
+    end = rng.randrange(start + 1, min(len(data), start + 4096) + 1)
+    piece = data[start:end]
+    budget = MAX_MUTANT_BYTES - len(data)
+    if budget <= len(piece) or not piece:
+        return data
+    times = rng.randint(2, max(2, min(4096, budget // len(piece))))
+    return data[:end] + piece * times + data[end:]
+
+
+def delete_slice(rng: random.Random, data: bytes) -> bytes:
+    """Remove a random slice (missing framing pieces)."""
+    if len(data) < 2:
+        return data
+    start = rng.randrange(len(data) - 1)
+    end = rng.randrange(start + 1, len(data) + 1)
+    return data[:start] + data[end:]
+
+
+def insert_token(rng: random.Random, data: bytes) -> bytes:
+    """Insert a dictionary token at a random position."""
+    token = rng.choice(TOKEN_DICTIONARY)
+    at = rng.randrange(len(data) + 1) if data else 0
+    return data[:at] + token + data[at:]
+
+
+MUTATORS: Tuple[Mutator, ...] = (
+    truncate,
+    bit_flip,
+    byte_substitute,
+    splice,
+    repeat_slice,
+    delete_slice,
+    insert_token,
+)
+
+
+def mutate_bytes(
+    rng: random.Random, data: bytes, max_size: int = MAX_MUTANT_BYTES
+) -> bytes:
+    """Apply a random stack of 1-3 byte-level mutators."""
+    out = data
+    for _ in range(rng.randint(1, 3)):
+        out = rng.choice(MUTATORS)(rng, out)
+    return out[:max_size]

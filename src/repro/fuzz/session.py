@@ -1,0 +1,240 @@
+"""The fuzzing driver: seeded scheduling, crash triage, dedup.
+
+A :class:`FuzzSession` pins one target to one seed. Each iteration picks
+a base payload (a seed or a previously interesting mutant), applies
+either a grammar-aware structured mutation or a stack of byte-level
+mutations, and feeds the result to the target. The contract under test:
+
+* the parser returns normally, or
+* it raises a :class:`~repro.proto.errors.ProtocolError` subclass.
+
+Anything else — ``ValueError``, ``IndexError``, ``UnicodeDecodeError``,
+``RecursionError`` — is a **crash**. Crashes are triaged to the deepest
+raise site inside ``repro`` (excluding the fuzzer itself), deduplicated
+by ``(exception type, site)``, and minimised by greedy chunk removal
+while the crash signature holds, so a report carries one small payload
+per distinct bug rather than thousands of noisy variants.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fuzz.mutators import MAX_MUTANT_BYTES, MUTATORS, mutate_bytes
+from repro.fuzz.targets import FuzzTarget
+from repro.proto.errors import ProtocolError
+
+#: Exceptions the hardened parsers are allowed to raise.
+HANDLED = (ProtocolError,)
+
+#: How many interesting mutants the session keeps as splice/base material.
+MAX_POOL = 64
+
+#: Minimisation budget: greedy passes over the payload.
+MINIMIZE_ROUNDS = 8
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """One deduplicated crash: a payload that escaped the taxonomy."""
+
+    target: str
+    exception_type: str
+    site: str
+    message: str
+    payload: bytes
+    iteration: int
+    duplicates: int = 0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Dedup key: same exception at the same raise site = same bug."""
+        return (self.exception_type, self.site)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (payload hex-encoded, truncated for display)."""
+        return {
+            "target": self.target,
+            "exception_type": self.exception_type,
+            "site": self.site,
+            "message": self.message,
+            "payload_hex": self.payload[:256].hex(),
+            "payload_bytes": len(self.payload),
+            "iteration": self.iteration,
+            "duplicates": self.duplicates,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :meth:`FuzzSession.run`."""
+
+    target: str
+    seed: int
+    iterations: int
+    ok: int = 0
+    handled: int = 0
+    crashes: List[CrashRecord] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no payload escaped the ProtocolError taxonomy."""
+        return not self.crashes
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "ok": self.ok,
+            "handled": self.handled,
+            "crashes": [crash.to_dict() for crash in self.crashes],
+        }
+
+
+def crash_site(exc: BaseException) -> str:
+    """Deepest raise site inside ``repro`` (the fuzzer itself excluded).
+
+    Formatted ``module.py:lineno:function`` so two payloads tripping the
+    same raise statement triage to the same bug.
+    """
+    site = "<outside-repro>"
+    for frame in traceback.extract_tb(exc.__traceback__):
+        path = frame.filename.replace("\\", "/")
+        if "/repro/" not in path or "/repro/fuzz/" in path:
+            continue
+        short = path.rsplit("/repro/", 1)[1]
+        site = f"{short}:{frame.lineno}:{frame.name}"
+    return site
+
+
+class FuzzSession:
+    """Deterministic fuzzing of one target.
+
+    The RNG is derived from ``(seed, crc32(target name))`` so a
+    multi-target run gives each target an independent but reproducible
+    stream: the same seed and iteration budget replay the identical
+    mutation sequence and find the identical crash set.
+    """
+
+    def __init__(self, target: FuzzTarget, seed: int = 0) -> None:
+        self.target = target
+        self.seed = seed
+        self._rng = random.Random(
+            (seed & 0xFFFFFFFF) ^ zlib.crc32(target.name.encode("utf-8"))
+        )
+        self._pool: List[bytes] = list(target.seeds)
+        if not self._pool:
+            self._pool = [b""]
+
+    # ------------------------------------------------------------------
+    # One iteration
+    # ------------------------------------------------------------------
+    def _next_payload(self) -> bytes:
+        base = self._rng.choice(self._pool)
+        mutators = self.target.structured_mutators
+        roll = self._rng.random()
+        if mutators and roll < 0.5:
+            # Grammar-aware mutation, optionally chased by byte noise.
+            mutated = self._rng.choice(mutators)(self._rng, base)
+            if self._rng.random() < 0.25:
+                mutated = self._rng.choice(MUTATORS)(self._rng, mutated)
+        else:
+            mutated = mutate_bytes(self._rng, base)
+        return mutated[:MAX_MUTANT_BYTES]
+
+    def execute(self, payload: bytes) -> Optional[BaseException]:
+        """Run one payload; returns the escaping exception, if any."""
+        try:
+            self.target.execute(payload)
+        except HANDLED:
+            return None
+        except Exception as exc:  # noqa: BLE001 - triaged, not swallowed
+            return exc
+        return None
+
+    # ------------------------------------------------------------------
+    # Minimisation
+    # ------------------------------------------------------------------
+    def _minimize(
+        self, payload: bytes, key: Tuple[str, str]
+    ) -> bytes:
+        """Greedy chunk-removal keeping the same (type, site) signature."""
+        current = payload
+        for _ in range(MINIMIZE_ROUNDS):
+            if len(current) <= 1:
+                break
+            chunk = max(1, len(current) // 8)
+            shrunk = False
+            start = 0
+            while start < len(current):
+                candidate = current[:start] + current[start + chunk :]
+                if candidate and self._crash_key(candidate) == key:
+                    current = candidate
+                    shrunk = True
+                else:
+                    start += chunk
+            if not shrunk:
+                break
+        return current
+
+    def _crash_key(self, payload: bytes) -> Optional[Tuple[str, str]]:
+        exc = self.execute(payload)
+        if exc is None:
+            return None
+        return (type(exc).__name__, crash_site(exc))
+
+    # ------------------------------------------------------------------
+    # The campaign
+    # ------------------------------------------------------------------
+    def run(self, iterations: int) -> FuzzReport:
+        """Fuzz for ``iterations`` payloads; returns the triaged report."""
+        report = FuzzReport(
+            target=self.target.name, seed=self.seed, iterations=iterations
+        )
+        seen: Dict[Tuple[str, str], CrashRecord] = {}
+        for iteration in range(iterations):
+            payload = self._next_payload()
+            try:
+                self.target.execute(payload)
+            except HANDLED:
+                report.handled += 1
+                # Rejected inputs are interesting bases: they sit on the
+                # validation boundary, so keep a rotating pool of them.
+                if len(payload) < 8192:
+                    self._pool.append(payload)
+                    if len(self._pool) > MAX_POOL:
+                        del self._pool[len(self.target.seeds)]
+            except Exception as exc:  # noqa: BLE001 - this IS the oracle
+                key = (type(exc).__name__, crash_site(exc))
+                if key in seen:
+                    existing = seen[key]
+                    seen[key] = CrashRecord(
+                        target=existing.target,
+                        exception_type=existing.exception_type,
+                        site=existing.site,
+                        message=existing.message,
+                        payload=existing.payload,
+                        iteration=existing.iteration,
+                        duplicates=existing.duplicates + 1,
+                    )
+                else:
+                    minimized = self._minimize(payload, key)
+                    seen[key] = CrashRecord(
+                        target=self.target.name,
+                        exception_type=key[0],
+                        site=key[1],
+                        message=str(exc)[:200],
+                        payload=minimized,
+                        iteration=iteration,
+                    )
+            else:
+                report.ok += 1
+        report.crashes = sorted(
+            seen.values(), key=lambda crash: (crash.site, crash.exception_type)
+        )
+        return report

@@ -1,0 +1,313 @@
+"""Grammar-aware mutators for the four wire formats.
+
+Blind byte flips rarely reach the deep branches of a parser; these
+mutators speak enough of each grammar (HTTP head, m3u8 playlist,
+multipart body, HTTP message stream) to corrupt exactly the fields the
+parsers must distrust: Content-Length values, status codes, EXTINF
+durations, boundary terminators. Same contract as the byte-level set —
+pure ``(rng, data) -> bytes`` functions, all randomness from the
+supplied :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.fuzz.mutators import Mutator
+
+#: Values that break naive numeric field parsing.
+BAD_NUMBERS: Tuple[bytes, ...] = (
+    b"-1",
+    b"+5",
+    b"0x1f",
+    b"2.5",
+    b"1e309",
+    b"nan",
+    b"-inf",
+    b"banana",
+    b"",
+    b" 12 ",
+    b"12\x01",
+    b"99999999999999999999",
+)
+
+_CRLF = b"\r\n"
+
+
+def _lines(data: bytes) -> List[bytes]:
+    return data.split(_CRLF)
+
+
+# ---------------------------------------------------------------------------
+# HTTP heads
+# ---------------------------------------------------------------------------
+
+
+def corrupt_content_length(rng: random.Random, data: bytes) -> bytes:
+    """Replace a Content-Length value with a malformed number."""
+    lines = _lines(data)
+    for i, line in enumerate(lines):
+        if line.lower().startswith(b"content-length"):
+            lines[i] = b"Content-Length: " + rng.choice(BAD_NUMBERS)
+            return _CRLF.join(lines)
+    at = min(1, len(lines))
+    lines.insert(at, b"Content-Length: " + rng.choice(BAD_NUMBERS))
+    return _CRLF.join(lines)
+
+
+def duplicate_content_length(rng: random.Random, data: bytes) -> bytes:
+    """Add a second, conflicting Content-Length (smuggling classic)."""
+    lines = _lines(data)
+    at = min(1, len(lines))
+    lines.insert(
+        at, b"Content-Length: " + str(rng.randrange(10**6)).encode("ascii")
+    )
+    return _CRLF.join(lines)
+
+
+def drop_header_colon(rng: random.Random, data: bytes) -> bytes:
+    """Strip the colon from one header line."""
+    lines = _lines(data)
+    candidates = [i for i, line in enumerate(lines[1:], 1) if b":" in line]
+    if not candidates:
+        return data
+    i = rng.choice(candidates)
+    lines[i] = lines[i].replace(b":", b" ", 1)
+    return _CRLF.join(lines)
+
+
+def inject_value_ctl(rng: random.Random, data: bytes) -> bytes:
+    """Smuggle a control character into one header value."""
+    lines = _lines(data)
+    candidates = [i for i, line in enumerate(lines[1:], 1) if b":" in line]
+    if not candidates:
+        return data
+    i = rng.choice(candidates)
+    lines[i] = lines[i] + rng.choice((b"\x00", b"\x0b", b"\x7f"))
+    return _CRLF.join(lines)
+
+
+def corrupt_status_line(rng: random.Random, data: bytes) -> bytes:
+    """Mangle the first line's status code / version."""
+    lines = _lines(data)
+    if not lines:
+        return data
+    lines[0] = rng.choice(
+        (
+            b"HTTP/1.1 OK",
+            b"HTTP/1.1 99999999999999999999 OK",
+            b"HTTP/1.1 -200 OK",
+            b"HTTP/1.1 20 OK",
+            b"HTTP/1.1 9999 OK",
+            b"HTTP/1.1200 OK",
+            b"NOTHTTP 200 OK",
+            b"",
+        )
+    )
+    return _CRLF.join(lines)
+
+
+def giant_header(rng: random.Random, data: bytes) -> bytes:
+    """Append one header line far beyond the section cap."""
+    filler = bytes([rng.randrange(0x61, 0x7B)]) * (
+        64 * 1024 + rng.randrange(1, 4096)
+    )
+    return data.rstrip(_CRLF) + _CRLF + b"X-Filler: " + filler + _CRLF
+
+
+def explode_header_count(rng: random.Random, data: bytes) -> bytes:
+    """Append far more header lines than any sane message carries."""
+    extra = _CRLF.join(
+        b"X-H%d: v" % i for i in range(rng.randint(300, 600))
+    )
+    return data.rstrip(_CRLF) + _CRLF + extra + _CRLF
+
+
+HTTP_HEAD_MUTATORS: Tuple[Mutator, ...] = (
+    corrupt_content_length,
+    duplicate_content_length,
+    drop_header_colon,
+    inject_value_ctl,
+    corrupt_status_line,
+    giant_header,
+    explode_header_count,
+)
+
+
+# ---------------------------------------------------------------------------
+# HTTP message streams (head + body framing)
+# ---------------------------------------------------------------------------
+
+
+def strip_blank_line(rng: random.Random, data: bytes) -> bytes:
+    """Remove the head/body separator so the head never terminates."""
+    return data.replace(b"\r\n\r\n", _CRLF, 1)
+
+
+def truncate_mid_body(rng: random.Random, data: bytes) -> bytes:
+    """Cut the stream inside the declared body."""
+    marker = data.find(b"\r\n\r\n")
+    if marker < 0 or marker + 4 >= len(data):
+        return data[: max(1, len(data) - 1)]
+    return data[: rng.randrange(marker + 4, len(data))]
+
+
+def lie_about_length(rng: random.Random, data: bytes) -> bytes:
+    """Keep the body, rewrite the declared Content-Length elsewhere."""
+    return corrupt_content_length(rng, data)
+
+
+def concatenate_with_self(rng: random.Random, data: bytes) -> bytes:
+    """Two messages back to back (keep-alive leftovers)."""
+    return data + data
+
+
+def prepend_garbage(rng: random.Random, data: bytes) -> bytes:
+    """Noise before the first line (desynchronised stream)."""
+    noise = bytes(rng.randrange(256) for _ in range(rng.randint(1, 32)))
+    return noise + data
+
+
+WIRE_STREAM_MUTATORS: Tuple[Mutator, ...] = HTTP_HEAD_MUTATORS + (
+    strip_blank_line,
+    truncate_mid_body,
+    lie_about_length,
+    concatenate_with_self,
+    prepend_garbage,
+)
+
+
+# ---------------------------------------------------------------------------
+# m3u8 playlists
+# ---------------------------------------------------------------------------
+
+
+def _playlist_lines(data: bytes) -> List[bytes]:
+    return data.split(b"\n")
+
+
+def drop_magic(rng: random.Random, data: bytes) -> bytes:
+    """Remove the #EXTM3U magic line."""
+    lines = [
+        line for line in _playlist_lines(data)
+        if line.strip() != b"#EXTM3U"
+    ]
+    return b"\n".join(lines)
+
+
+def corrupt_extinf(rng: random.Random, data: bytes) -> bytes:
+    """Replace one EXTINF duration with a malformed number."""
+    lines = _playlist_lines(data)
+    candidates = [
+        i for i, line in enumerate(lines) if line.startswith(b"#EXTINF:")
+    ]
+    if not candidates:
+        return data
+    i = rng.choice(candidates)
+    lines[i] = b"#EXTINF:" + rng.choice(BAD_NUMBERS) + b","
+    return b"\n".join(lines)
+
+
+def corrupt_size_tag(rng: random.Random, data: bytes) -> bytes:
+    """Replace one #X-SIZE with a malformed or non-finite number."""
+    lines = _playlist_lines(data)
+    candidates = [
+        i for i, line in enumerate(lines) if line.startswith(b"#X-SIZE:")
+    ]
+    if not candidates:
+        return data
+    i = rng.choice(candidates)
+    lines[i] = b"#X-SIZE:" + rng.choice(BAD_NUMBERS)
+    return b"\n".join(lines)
+
+
+def orphan_uri(rng: random.Random, data: bytes) -> bytes:
+    """Drop one EXTINF so its URI has no duration."""
+    lines = _playlist_lines(data)
+    candidates = [
+        i for i, line in enumerate(lines) if line.startswith(b"#EXTINF:")
+    ]
+    if not candidates:
+        return data
+    del lines[rng.choice(candidates)]
+    return b"\n".join(lines)
+
+
+def invalid_utf8(rng: random.Random, data: bytes) -> bytes:
+    """Splice an invalid UTF-8 sequence into the playlist."""
+    at = rng.randrange(len(data) + 1) if data else 0
+    return data[:at] + rng.choice((b"\xff\xfe", b"\xc3", b"\x80")) + data[at:]
+
+
+def explode_segments(rng: random.Random, data: bytes) -> bytes:
+    """Repeat one segment entry far past the playlist segment cap."""
+    entry = b"#EXTINF:1.0,\n#X-SIZE:100\n/fuzz/seg.ts\n"
+    times = rng.randint(10, 2000)
+    return data.replace(b"#EXT-X-ENDLIST", entry * times + b"#EXT-X-ENDLIST")
+
+
+M3U8_MUTATORS: Tuple[Mutator, ...] = (
+    drop_magic,
+    corrupt_extinf,
+    corrupt_size_tag,
+    orphan_uri,
+    invalid_utf8,
+    explode_segments,
+)
+
+
+# ---------------------------------------------------------------------------
+# multipart bodies
+# ---------------------------------------------------------------------------
+
+
+def strip_terminator(rng: random.Random, data: bytes) -> bytes:
+    """Remove the closing -- of the final boundary line."""
+    return data.replace(b"--\r\n", _CRLF, 1) if data.endswith(
+        b"--\r\n"
+    ) else data.rstrip(b"-\r\n")
+
+
+def corrupt_boundary(rng: random.Random, data: bytes) -> bytes:
+    """Flip characters inside one boundary line."""
+    at = data.find(b"--")
+    if at < 0 or at + 4 > len(data):
+        return data
+    out = bytearray(data)
+    out[at + 2] ^= 0x20
+    return bytes(out)
+
+
+def drop_part_blank_line(rng: random.Random, data: bytes) -> bytes:
+    """Remove the blank line between part headers and payload."""
+    return data.replace(b"\r\n\r\n", _CRLF, 1)
+
+
+def corrupt_disposition(rng: random.Random, data: bytes) -> bytes:
+    """Break the Content-Disposition header of one part."""
+    return data.replace(
+        b"Content-Disposition: form-data",
+        rng.choice(
+            (
+                b"Content-Disposition: attachment",
+                b"Content-Disposition form-data",
+                b"Content-Disposition: form-data; name=unquoted",
+            )
+        ),
+        1,
+    )
+
+
+def non_ascii_part_head(rng: random.Random, data: bytes) -> bytes:
+    """Make one part's headers non-ASCII."""
+    return data.replace(b"Content-Type: ", b"Content-Type: \xff", 1)
+
+
+MULTIPART_MUTATORS: Tuple[Mutator, ...] = (
+    strip_terminator,
+    corrupt_boundary,
+    drop_part_blank_line,
+    corrupt_disposition,
+    non_ascii_part_head,
+)

@@ -7,7 +7,8 @@ the simulator's correctness rests on:
 * **RL002** — unit conversions go through :mod:`repro.util.units`;
 * **RL003** — experiment modules honour the ``@experiment`` contract;
 * **RL004** — recovery paths never swallow exceptions;
-* **RL005** — no exact ``==`` on simulated clocks or byte volumes.
+* **RL005** — no exact ``==`` on simulated clocks or byte volumes;
+* **RL006** — wire parse paths raise only ProtocolError subclasses.
 
 Run it with the ``repro-lint`` console script (see
 :mod:`repro.lint.cli`), or programmatically via :func:`lint_source` /

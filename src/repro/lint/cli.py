@@ -40,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant checker for the 3GOL reproduction "
             "(determinism, units, registry contract, exception hygiene, "
-            "float equality)."
+            "float equality, wire-error taxonomy)."
         ),
     )
     parser.add_argument(

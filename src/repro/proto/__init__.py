@@ -17,17 +17,61 @@ executable equivalent here is a loopback deployment on 127.0.0.1:
 The shapers (:mod:`repro.proto.shaping`) emulate the ADSL line and the 3G
 channels; everything else — HTTP parsing, proxying, parallel scheduling,
 duplicate aborts — is the genuine article.
+
+Only the :mod:`repro.proto.errors` taxonomy is imported eagerly; the
+prototype classes load on first attribute access (PEP 562). That keeps
+the error types importable from the layers *below* the prototype (the
+web parsers raise them) without a circular import through
+:mod:`repro.proto.origin`, which itself builds on :mod:`repro.web`.
 """
 
-from repro.proto.shaping import TokenBucket
-from repro.proto.origin import LoopbackOrigin
-from repro.proto.mobileproxy import MobileProxy
-from repro.proto.client import PrototypeClient, ThreadedTransferReport
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro.proto.errors import (
+    FramingError,
+    MultipartError,
+    PlaylistError,
+    ProtocolError,
+    StallError,
+    WireError,
+)
 
 __all__ = [
-    "TokenBucket",
+    "FramingError",
     "LoopbackOrigin",
     "MobileProxy",
+    "MultipartError",
+    "PlaylistError",
+    "ProtocolError",
     "PrototypeClient",
+    "StallError",
     "ThreadedTransferReport",
+    "TokenBucket",
+    "WireError",
 ]
+
+_LAZY = {
+    "TokenBucket": "repro.proto.shaping",
+    "LoopbackOrigin": "repro.proto.origin",
+    "MobileProxy": "repro.proto.mobileproxy",
+    "PrototypeClient": "repro.proto.client",
+    "ThreadedTransferReport": "repro.proto.client",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_LAZY))

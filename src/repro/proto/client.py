@@ -7,6 +7,15 @@ thread per path, each holding a persistent connection to its shaped proxy
 duplication works exactly as in §4.1.1 — when the first copy of an item
 completes, the losing copies are cancelled (their workers notice a cancel
 flag between receive chunks and drop the connection).
+
+A bad peer degrades one *path*, not the transaction: a stalling or
+garbage-speaking endpoint times out / errors its single in-flight
+transfer, the item is re-offered to the policy exactly as the
+simulator's runner does after a path fault
+(:meth:`~repro.core.scheduler.base.SchedulingPolicy.on_item_failed`),
+a structured :class:`~repro.core.resilience.DegradationLog` entry is
+recorded, and the transfer continues over the surviving paths. The
+transaction fails only when *every* path is dead.
 """
 
 from __future__ import annotations
@@ -19,10 +28,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.items import Transaction
+from repro.core.resilience import DegradationLog
 from repro.core.scheduler.base import PathWorker, SchedulingPolicy
 from repro.netsim.link import Link
 from repro.netsim.path import NetworkPath
 from repro.proto import httpwire
+from repro.proto.errors import StallError
 
 RECV_CHUNK = 64 * 1024
 
@@ -62,18 +73,31 @@ class ThreadedTransferReport:
 class _Endpoint:
     """One path: a named, persistent connection target."""
 
-    def __init__(self, name: str, address: Tuple[str, int]) -> None:
+    def __init__(
+        self,
+        name: str,
+        address: Tuple[str, int],
+        recv_timeout: float = httpwire.DEFAULT_RECV_TIMEOUT,
+    ) -> None:
         self.name = name
         self.address = address
+        self.recv_timeout = recv_timeout
         self.cancel = threading.Event()
         self.sock: Optional[socket.socket] = None
 
     def connect(self) -> socket.socket:
-        """(Re)open the persistent connection."""
+        """(Re)open the persistent connection.
+
+        The timeout governs every subsequent recv on the socket, so a
+        peer that accepts the connection and then goes silent raises
+        ``socket.timeout`` instead of hanging the worker forever.
+        """
         if self.sock is not None:
             with contextlib.suppress(OSError):
                 self.sock.close()
-        self.sock = socket.create_connection(self.address, timeout=30.0)
+        self.sock = socket.create_connection(
+            self.address, timeout=self.recv_timeout
+        )
         return self.sock
 
     def close(self) -> None:
@@ -95,18 +119,27 @@ def _read_response_cancellable(
     data = b""
     while b"\r\n\r\n" not in data:
         if cancel.is_set():
-            raise _Cancelled()
+            # Control flow, not a parse failure: the copy lost the race.
+            raise _Cancelled()  # repro-lint: disable=RL006
+        if len(data) > httpwire.MAX_HEADER_BYTES:
+            raise httpwire.WireError(
+                f"header section exceeds {httpwire.MAX_HEADER_BYTES} bytes"
+            )
         chunk = sock.recv(RECV_CHUNK)
         if not chunk:
             raise httpwire.WireError("closed mid-header")
         data += chunk
     head, _, body = data.partition(b"\r\n\r\n")
+    if len(head) + 4 > httpwire.MAX_HEADER_BYTES:
+        raise httpwire.WireError(
+            f"header section exceeds {httpwire.MAX_HEADER_BYTES} bytes"
+        )
     first, headers = httpwire.parse_head(head + b"\r\n\r\n")
-    status = int(first.split(" ", 2)[1])
-    length = int(headers.get("content-length", "0"))
+    status = httpwire.parse_status_line(first)
+    length = httpwire.parse_content_length(headers)
     while len(body) < length:
         if cancel.is_set():
-            raise _Cancelled()
+            raise _Cancelled()  # repro-lint: disable=RL006
         chunk = sock.recv(RECV_CHUNK)
         if not chunk:
             raise httpwire.WireError("closed mid-body")
@@ -118,11 +151,22 @@ class PrototypeClient:
     """Runs transactions over real shaped paths with a scheduling policy."""
 
     def __init__(
-        self, endpoints: Sequence[Tuple[str, Tuple[str, int]]]
+        self,
+        endpoints: Sequence[Tuple[str, Tuple[str, int]]],
+        recv_timeout: float = httpwire.DEFAULT_RECV_TIMEOUT,
+        degradation_log: Optional[DegradationLog] = None,
     ) -> None:
         if not endpoints:
             raise ValueError("need at least one endpoint")
-        self.endpoints = [_Endpoint(name, addr) for name, addr in endpoints]
+        self.recv_timeout = recv_timeout
+        #: Structured log of per-path degradations across transactions.
+        self.degradations = (
+            degradation_log if degradation_log is not None else DegradationLog()
+        )
+        self.endpoints = [
+            _Endpoint(name, addr, recv_timeout=recv_timeout)
+            for name, addr in endpoints
+        ]
 
     # ------------------------------------------------------------------
     # Transactions
@@ -191,6 +235,36 @@ class PrototypeClient:
         def now() -> float:
             return time.monotonic() - started
 
+        def fail_path(
+            index: int,
+            exc: Exception,
+            item_label: str = "",
+        ) -> None:
+            """Take one dead path out of the transfer set (lock held).
+
+            Mirrors the simulator runner's ``remove_path``: mark the
+            worker disabled so policies stop counting it, log a
+            structured event, and abort the whole transaction only when
+            no live path remains to carry the residual work.
+            """
+            worker = workers[index]
+            worker.disabled = True
+            worker.current_item = None
+            worker.remaining_bytes = 0.0
+            stalled = isinstance(exc, (StallError, socket.timeout))
+            self.degradations.record(
+                kind="stall" if stalled else "path-fault",
+                time=now(),
+                path_name=self.endpoints[index].name,
+                item_label=item_label,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+            if not any(w.available for w in workers) and (
+                len(completed) < items_total
+            ):
+                failure.append(exc)
+            work_available.notify_all()
+
         def worker_loop(index: int) -> None:
             nonlocal wasted
             endpoint = self.endpoints[index]
@@ -199,8 +273,10 @@ class PrototypeClient:
                 endpoint.connect()
             except OSError as exc:
                 with lock:
-                    failure.append(exc)
-                    work_available.notify_all()
+                    fail_path(index, exc)
+                    # Re-deal this path's share of the work (the policy
+                    # saw the full worker set at initialize time).
+                    policy.on_membership_change(tuple(workers), now())
                 return
             while True:
                 with lock:
@@ -235,8 +311,14 @@ class PrototypeClient:
                     continue
                 except (httpwire.WireError, OSError) as exc:
                     with lock:
-                        failure.append(exc)
-                        work_available.notify_all()
+                        self._forget_copy(copies_inflight, item.label, index)
+                        fail_path(index, exc, item_label=item.label)
+                        if item.label not in completed:
+                            # Re-offer the orphaned item, exactly as the
+                            # simulator's runner does after a path fault
+                            # (policies re-queue idempotently).
+                            policy.on_item_failed(worker, item, now())
+                    endpoint.close()
                     return
                 with lock:
                     self._forget_copy(copies_inflight, item.label, index)

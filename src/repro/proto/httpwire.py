@@ -3,6 +3,14 @@
 Covers exactly what the 3GOL data path needs: request/status lines,
 headers, Content-Length-framed bodies, and persistent connections. No
 chunked encoding (the origin always knows its sizes), no TLS.
+
+Every parser here assumes a *hostile* peer: header sections are capped
+(enforced after each recv, so one oversized chunk cannot blow past the
+limit), bodies are bounded, Content-Length and status codes are parsed
+strictly, and every read can carry a per-socket recv timeout so a
+stalling peer raises :class:`~repro.proto.errors.StallError` instead of
+hanging the caller forever. All failures are typed
+:class:`~repro.proto.errors.ProtocolError` subclasses.
 """
 
 from __future__ import annotations
@@ -10,61 +18,208 @@ from __future__ import annotations
 import socket
 from typing import Dict, Optional, Tuple
 
+from repro.proto.errors import (
+    FramingError,
+    ProtocolError,
+    StallError,
+    WireError,
+)
+
+__all__ = [
+    "FramingError",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_HEADER_COUNT",
+    "ProtocolError",
+    "StallError",
+    "WireError",
+    "parse_content_length",
+    "parse_head",
+    "parse_status_line",
+    "read_body",
+    "read_response",
+    "read_until_blank_line",
+    "render_request",
+    "render_response",
+]
+
 MAX_HEADER_BYTES = 64 * 1024
+#: Upper bound on distinct header lines in one message.
+MAX_HEADER_COUNT = 256
+#: Upper bound on a Content-Length this stack will ever read: large
+#: enough for any asset the prototype serves (whole-video downloads are
+#: segmented), small enough that a lying peer cannot balloon memory.
+MAX_BODY_BYTES = 256 * 1024 * 1024
 RECV_CHUNK = 64 * 1024
 
+#: Default per-socket recv timeout for reads *from an upstream peer we
+#: initiated a request to* (a stalled origin or phone proxy).
+DEFAULT_RECV_TIMEOUT = 30.0
+#: Default bound on how long a server-side connection may sit idle
+#: between requests before it is reclaimed.
+DEFAULT_IDLE_TIMEOUT = 120.0
 
-class WireError(Exception):
-    """Malformed or truncated HTTP traffic."""
+#: Control characters never valid inside a header value (HTAB allowed).
+_VALUE_CTL = frozenset(
+    chr(c) for c in range(0x20) if chr(c) != "\t"
+) | {"\x7f"}
 
 
-def read_until_blank_line(sock: socket.socket, buffered: bytes = b"") -> Tuple[bytes, bytes]:
+def _recv(sock: socket.socket, timeout: Optional[float]) -> bytes:
+    """One recv with stall translation.
+
+    ``timeout`` (seconds) bounds this single read when given; ``None``
+    leaves the socket's own timeout configuration alone. Either way an
+    expired socket timeout surfaces as :class:`StallError` so callers
+    handle a silent peer exactly like any other protocol failure.
+    """
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        return sock.recv(RECV_CHUNK)
+    except socket.timeout:
+        bound = timeout if timeout is not None else sock.gettimeout()
+        raise StallError(f"peer sent nothing for {bound}s") from None
+
+
+def read_until_blank_line(
+    sock: socket.socket,
+    buffered: bytes = b"",
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    timeout: Optional[float] = None,
+) -> Tuple[bytes, bytes]:
     """Read up to and including the header/body separator.
 
     Returns ``(head, leftover)`` where ``head`` ends with CRLFCRLF and
-    ``leftover`` is any body bytes already read.
+    ``leftover`` is any body bytes already read. The header cap is
+    enforced *after* every append: a peer that delivers one huge chunk
+    trips the limit just like one that trickles.
     """
     data = buffered
     while b"\r\n\r\n" not in data:
-        if len(data) > MAX_HEADER_BYTES:
-            raise WireError("header section too large")
-        chunk = sock.recv(RECV_CHUNK)
+        if len(data) > max_header_bytes:
+            raise WireError(
+                f"header section exceeds {max_header_bytes} bytes"
+            )
+        chunk = _recv(sock, timeout)
         if not chunk:
             if not data:
                 raise WireError("connection closed before request")
             raise WireError("connection closed mid-header")
         data += chunk
     head, _, leftover = data.partition(b"\r\n\r\n")
+    if len(head) + 4 > max_header_bytes:
+        raise WireError(f"header section exceeds {max_header_bytes} bytes")
     return head + b"\r\n\r\n", leftover
 
 
 def parse_head(head: bytes) -> Tuple[str, Dict[str, str]]:
-    """Split a header block into its first line and a lowercase header map."""
+    """Split a header block into its first line and a lowercase header map.
+
+    Rejects header names with whitespace or control characters, header
+    values carrying CTLs (the header-injection vector), oversized header
+    counts, and conflicting duplicate ``Content-Length`` lines.
+    """
     lines = head.decode("latin-1").split("\r\n")
     first = lines[0]
     headers: Dict[str, str] = {}
+    count = 0
     for line in lines[1:]:
         if not line:
             continue
+        count += 1
+        if count > MAX_HEADER_COUNT:
+            raise WireError(f"more than {MAX_HEADER_COUNT} header lines")
         if ":" not in line:
             raise WireError(f"malformed header line {line!r}")
         name, _, value = line.partition(":")
-        headers[name.strip().lower()] = value.strip()
+        name = name.strip()
+        if not name or any(c.isspace() or c in _VALUE_CTL for c in name):
+            raise WireError(f"malformed header name {name!r}")
+        value = value.strip()
+        if any(c in _VALUE_CTL for c in value):
+            raise WireError(
+                f"control character in value of header {name!r}"
+            )
+        key = name.lower()
+        if key == "content-length" and key in headers and (
+            headers[key] != value
+        ):
+            raise FramingError(
+                "conflicting duplicate Content-Length headers "
+                f"({headers[key]!r} vs {value!r})"
+            )
+        headers[key] = value
     return first, headers
 
 
+def parse_content_length(
+    headers: Dict[str, str], max_body_bytes: int = MAX_BODY_BYTES
+) -> int:
+    """Strictly parse the (optional) Content-Length of a header map.
+
+    Absent means 0. Anything but a plain run of digits — signs, spaces,
+    floats, hex — is a framing lie, as is a length above
+    ``max_body_bytes``.
+    """
+    raw = headers.get("content-length")
+    if raw is None:
+        return 0
+    if not raw.isascii() or not raw.isdigit():
+        raise FramingError(f"malformed Content-Length {raw!r}")
+    # Bound the digit count before int(): CPython refuses conversions
+    # past ~4300 digits with a bare ValueError, and any value this long
+    # is a framing lie regardless (found by fuzzing, seed 0).
+    if len(raw) > 19:
+        raise FramingError(
+            f"Content-Length has {len(raw)} digits ({raw[:24]!r}...)"
+        )
+    length = int(raw)
+    if length > max_body_bytes:
+        raise FramingError(
+            f"Content-Length {length} exceeds the {max_body_bytes}-byte "
+            "bound"
+        )
+    return length
+
+
+def parse_status_line(first: str) -> int:
+    """Parse and validate an HTTP/1.x status line, returning the code."""
+    parts = first.split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise WireError(f"malformed status line {first!r}")
+    code = parts[1]
+    if len(code) != 3 or not code.isascii() or not code.isdigit():
+        raise WireError(f"malformed status code {code!r}")
+    status = int(code)
+    if not 100 <= status <= 599:
+        raise WireError(f"status code {status} out of range")
+    return status
+
+
 def read_body(
-    sock: socket.socket, leftover: bytes, content_length: int
+    sock: socket.socket,
+    leftover: bytes,
+    content_length: int,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    timeout: Optional[float] = None,
 ) -> bytes:
     """Read exactly ``content_length`` body bytes."""
+    if content_length < 0:
+        raise FramingError(f"negative Content-Length {content_length}")
+    if content_length > max_body_bytes:
+        raise FramingError(
+            f"Content-Length {content_length} exceeds the "
+            f"{max_body_bytes}-byte bound"
+        )
     body = leftover
     while len(body) < content_length:
-        chunk = sock.recv(RECV_CHUNK)
+        chunk = _recv(sock, timeout)
         if not chunk:
             raise WireError("connection closed mid-body")
         body += chunk
     if len(body) > content_length:
-        raise WireError("more body bytes than Content-Length")
+        raise FramingError("more body bytes than Content-Length")
     return body
 
 
@@ -102,14 +257,18 @@ def render_response(
     return head.encode("latin-1") + body
 
 
-def read_response(sock: socket.socket) -> Tuple[int, Dict[str, str], bytes]:
+def read_response(
+    sock: socket.socket,
+    timeout: Optional[float] = None,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Tuple[int, Dict[str, str], bytes]:
     """Read one response; returns (status, headers, body)."""
-    head, leftover = read_until_blank_line(sock)
+    head, leftover = read_until_blank_line(sock, timeout=timeout)
     first, headers = parse_head(head)
-    parts = first.split(" ", 2)
-    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
-        raise WireError(f"malformed status line {first!r}")
-    status = int(parts[1])
-    length = int(headers.get("content-length", "0"))
-    body = read_body(sock, leftover, length)
+    status = parse_status_line(first)
+    length = parse_content_length(headers, max_body_bytes)
+    body = read_body(
+        sock, leftover, length, max_body_bytes=max_body_bytes,
+        timeout=timeout,
+    )
     return status, headers, body

@@ -6,6 +6,13 @@ token-bucket shaper: every byte relayed between the LAN-facing socket and
 the origin passes through the bucket, so the proxy's throughput is the
 emulated channel's. Both directions are shaped (HSDPA down, HSUPA up may
 have different buckets).
+
+The proxy assumes hostile peers on both sides: reads are bounded and
+carry per-socket recv timeouts, and a bad peer degrades exactly one
+connection — a malformed request earns a 400, a garbled or stalling
+origin earns a 502/504, either lands a structured
+:class:`~repro.core.resilience.DegradationLog` entry, and the accept
+loop keeps serving every other connection.
 """
 
 from __future__ import annotations
@@ -13,9 +20,12 @@ from __future__ import annotations
 import contextlib
 import socket
 import threading
+import time
 from typing import Optional, Tuple
 
+from repro.core.resilience import DegradationLog
 from repro.proto import httpwire
+from repro.proto.errors import StallError, WireError
 from repro.proto.shaping import TokenBucket, shaped_send
 
 
@@ -28,15 +38,28 @@ class MobileProxy:
         down_bucket: Optional[TokenBucket] = None,
         up_bucket: Optional[TokenBucket] = None,
         name: str = "phone",
+        recv_timeout: float = httpwire.DEFAULT_RECV_TIMEOUT,
+        idle_timeout: float = httpwire.DEFAULT_IDLE_TIMEOUT,
+        degradation_log: Optional[DegradationLog] = None,
     ) -> None:
         self.origin_address = origin_address
         self.down_bucket = down_bucket
         self.up_bucket = up_bucket
         self.name = name
+        #: Bound on each upstream (origin-facing) recv gap.
+        self.recv_timeout = recv_timeout
+        #: Bound on how long a LAN connection may sit idle between
+        #: requests before it is reclaimed.
+        self.idle_timeout = idle_timeout
+        #: Structured log of every per-connection degradation.
+        self.degradations = (
+            degradation_log if degradation_log is not None else DegradationLog()
+        )
         #: Bytes relayed in each direction, for cap accounting.
         self.bytes_down = 0
         self.bytes_up = 0
         self._counters_lock = threading.Lock()
+        self._started_at = time.monotonic()
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind(("127.0.0.1", 0))
@@ -72,6 +95,10 @@ class MobileProxy:
         """(host, port) the proxy listens on (the LAN side)."""
         return (self.host, self.port)
 
+    def _now(self) -> float:
+        """Seconds since the proxy was built (degradation timestamps)."""
+        return time.monotonic() - self._started_at
+
     # ------------------------------------------------------------------
     # Relaying
     # ------------------------------------------------------------------
@@ -90,27 +117,55 @@ class MobileProxy:
 
         One upstream connection to the origin per client connection —
         the same connection-per-path model the prototype client uses.
+        Protocol failures degrade *this connection only*: the client
+        gets an error response naming the failure, a structured event
+        lands in :attr:`degradations`, and the proxy keeps serving.
         """
         upstream = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
-            upstream.connect(self.origin_address)
+            upstream.settimeout(self.recv_timeout)
+            try:
+                upstream.connect(self.origin_address)
+            except OSError as exc:
+                self.degradations.record(
+                    kind="peer-unreachable",
+                    time=self._now(),
+                    path_name=self.name,
+                    detail=f"origin connect failed: {exc!r}",
+                )
+                with contextlib.suppress(OSError):
+                    client.sendall(
+                        httpwire.render_response(502, "Bad Gateway")
+                    )
+                return
             leftover = b""
             while True:
-                head, leftover = httpwire.read_until_blank_line(
-                    client, leftover
-                )
-                first, headers = httpwire.parse_head(head)
-                length = int(headers.get("content-length", "0"))
-                body = httpwire.read_body(client, leftover, length)
+                # Request from the LAN client (idle-bounded).
+                try:
+                    head, leftover = httpwire.read_until_blank_line(
+                        client, leftover, timeout=self.idle_timeout
+                    )
+                    first, headers = httpwire.parse_head(head)
+                    length = httpwire.parse_content_length(headers)
+                    body = httpwire.read_body(
+                        client, leftover, length, timeout=self.recv_timeout
+                    )
+                except WireError as exc:
+                    self._reject_client(client, exc)
+                    return
                 leftover = b""
-                # Request (uplink direction: through HSUPA shaping).
-                shaped_send(upstream, head + body, self.up_bucket)
-                with self._counters_lock:
-                    self.bytes_up += len(body)
-                # Response (downlink: through HSDPA shaping).
-                status, resp_headers, resp_body = httpwire.read_response(
-                    upstream
-                )
+                # Relay upstream and read the origin's answer; a bad or
+                # stalling origin fails this transfer with a 502/504.
+                try:
+                    shaped_send(upstream, head + body, self.up_bucket)
+                    with self._counters_lock:
+                        self.bytes_up += len(body)
+                    status, resp_headers, resp_body = httpwire.read_response(
+                        upstream, timeout=self.recv_timeout
+                    )
+                except (WireError, OSError) as exc:
+                    self._reject_upstream(client, first, exc)
+                    return
                 response = httpwire.render_response(
                     status,
                     "OK" if status == 200 else "Err",
@@ -125,9 +180,48 @@ class MobileProxy:
                 with self._counters_lock:
                     self.bytes_down += len(resp_body)
                 shaped_send(client, response, self.down_bucket)
-        except (httpwire.WireError, OSError):
+        except OSError:
+            # The LAN client vanished mid-exchange; nothing to answer.
             pass
         finally:
             for sock in (client, upstream):
                 with contextlib.suppress(OSError):
                     sock.close()
+
+    def _reject_client(self, client: socket.socket, exc: WireError) -> None:
+        """A malformed/stalled LAN request: 400 this connection only.
+
+        A clean keep-alive close ("connection closed before request")
+        is the normal end of a persistent connection, not a
+        degradation.
+        """
+        if "closed before request" in str(exc):
+            return
+        self.degradations.record(
+            kind="bad-peer",
+            time=self._now(),
+            path_name=self.name,
+            detail=f"malformed LAN request: {exc!r}",
+        )
+        with contextlib.suppress(OSError):
+            client.sendall(httpwire.render_response(400, "Bad Request"))
+
+    def _reject_upstream(
+        self, client: socket.socket, request_line: str, exc: Exception
+    ) -> None:
+        """A garbled or silent origin: 502/504 this transfer only."""
+        stalled = isinstance(exc, (StallError, socket.timeout))
+        self.degradations.record(
+            kind="peer-stall" if stalled else "bad-peer",
+            time=self._now(),
+            path_name=self.name,
+            item_label=request_line.split(" ")[1]
+            if len(request_line.split(" ")) > 1
+            else "",
+            detail=f"upstream failure: {exc!r}",
+        )
+        status, reason = (
+            (504, "Gateway Timeout") if stalled else (502, "Bad Gateway")
+        )
+        with contextlib.suppress(OSError):
+            client.sendall(httpwire.render_response(status, reason))

@@ -18,7 +18,15 @@ from repro.web.hls import (
     parse_m3u8,
     render_m3u8,
 )
-from repro.web.upload import MultipartUpload, Photo, photo_upload_requests
+from repro.web.upload import (
+    MultipartPart,
+    MultipartUpload,
+    Photo,
+    decode_multipart,
+    encode_multipart,
+    encode_photo_upload,
+    photo_upload_requests,
+)
 from repro.web.origin import OriginServer
 from repro.web.client import SequentialHttpClient, TransferLogEntry
 
@@ -34,8 +42,12 @@ __all__ = [
     "make_bipbop_video",
     "parse_m3u8",
     "render_m3u8",
+    "MultipartPart",
     "MultipartUpload",
     "Photo",
+    "decode_multipart",
+    "encode_multipart",
+    "encode_photo_upload",
     "photo_upload_requests",
     "OriginServer",
     "SequentialHttpClient",

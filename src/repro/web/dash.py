@@ -15,10 +15,13 @@ with ``$Number$`` addressing.
 
 from __future__ import annotations
 
+import math
 import xml.etree.ElementTree as ET
 from typing import Dict, List
 
+from repro.proto.errors import PlaylistError
 from repro.web.hls import (
+    MAX_PLAYLIST_SEGMENTS,
     HlsPlaylist,
     MediaSegment,
     VideoAsset,
@@ -36,8 +39,11 @@ def _duration_attr(seconds: float) -> str:
 def _parse_duration(value: str) -> float:
     """Parse the PT…S subset of ISO-8601 durations used here."""
     if not value.startswith("PT") or not value.endswith("S"):
-        raise ValueError(f"unsupported MPD duration {value!r}")
-    return float(value[2:-1])
+        raise PlaylistError(f"unsupported MPD duration {value!r}")
+    try:
+        return float(value[2:-1])
+    except ValueError:
+        raise PlaylistError(f"malformed MPD duration {value!r}") from None
 
 
 def render_mpd(video: VideoAsset) -> str:
@@ -89,29 +95,52 @@ def parse_mpd(text: str, video_name: str = "video") -> Dict[str, HlsPlaylist]:
     try:
         root = ET.fromstring(text)
     except ET.ParseError as exc:
-        raise ValueError(f"not an MPD: {exc}") from None
+        raise PlaylistError(f"not an MPD: {exc}") from None
     if not root.tag.endswith("MPD"):
-        raise ValueError(f"not an MPD root element: {root.tag!r}")
-    total_duration = _parse_duration(
-        root.attrib["mediaPresentationDuration"]
-    )
+        raise PlaylistError(f"not an MPD root element: {root.tag!r}")
+    duration_attr = root.attrib.get("mediaPresentationDuration")
+    if duration_attr is None:
+        raise PlaylistError("MPD has no mediaPresentationDuration")
+    total_duration = _parse_duration(duration_attr)
     ns = {"mpd": _MPD_NS}
     playlists: Dict[str, HlsPlaylist] = {}
     for representation in root.findall(
         ".//mpd:Representation", ns
     ) or root.findall(".//Representation"):
-        rep_id = representation.attrib["id"]
-        bandwidth = float(representation.attrib["bandwidth"])
+        rep_id = representation.attrib.get("id", "")
         template = representation.find("mpd:SegmentTemplate", ns)
         if template is None:
             template = representation.find("SegmentTemplate")
         if template is None:
-            raise ValueError(f"representation {rep_id!r} has no template")
-        timescale = float(template.attrib.get("timescale", "1"))
-        segment_s = float(template.attrib["duration"]) / timescale
-        media = template.attrib["media"]
-        start = int(template.attrib.get("startNumber", "0"))
-        quality = VideoQuality(rep_id, bandwidth)
+            raise PlaylistError(
+                f"representation {rep_id!r} has no template"
+            )
+        media = template.attrib.get("media")
+        if not rep_id or not media or "media" not in template.attrib:
+            raise PlaylistError(
+                f"representation {rep_id!r} is missing id/media attributes"
+            )
+        try:
+            bandwidth = float(representation.attrib["bandwidth"])
+            timescale = float(template.attrib.get("timescale", "1"))
+            segment_s = float(template.attrib["duration"]) / timescale
+            start = int(template.attrib.get("startNumber", "0"))
+            quality = VideoQuality(rep_id, bandwidth)
+        except (KeyError, ValueError, ZeroDivisionError) as exc:
+            raise PlaylistError(
+                f"representation {rep_id!r} has malformed attributes: {exc}"
+            ) from exc
+        if not math.isfinite(segment_s) or segment_s <= 0.0:
+            raise PlaylistError(
+                f"representation {rep_id!r} has non-positive segment "
+                f"duration {segment_s!r}"
+            )
+        if not math.isfinite(total_duration) or (
+            total_duration / segment_s > MAX_PLAYLIST_SEGMENTS
+        ):
+            raise PlaylistError(
+                f"MPD would expand past {MAX_PLAYLIST_SEGMENTS} segments"
+            )
         segments: List[MediaSegment] = []
         remaining = total_duration
         number = start
@@ -120,17 +149,27 @@ def parse_mpd(text: str, video_name: str = "video") -> Dict[str, HlsPlaylist]:
             uri = media.replace("$Number%05d$", f"{number:05d}").replace(
                 "$Number$", str(number)
             )
-            segments.append(
-                MediaSegment(
-                    index=number - start,
-                    uri=uri,
-                    duration_s=duration,
-                    size_bytes=quality.segment_bytes(duration),
+            try:
+                segments.append(
+                    MediaSegment(
+                        index=number - start,
+                        uri=uri,
+                        duration_s=duration,
+                        size_bytes=quality.segment_bytes(duration),
+                    )
                 )
-            )
+            except ValueError as exc:
+                raise PlaylistError(
+                    f"invalid segment in representation {rep_id!r}: {exc}"
+                ) from exc
             remaining -= duration
             number += 1
-        playlists[rep_id] = HlsPlaylist(video_name, quality, segments)
+        try:
+            playlists[rep_id] = HlsPlaylist(video_name, quality, segments)
+        except ValueError as exc:
+            raise PlaylistError(
+                f"inconsistent representation {rep_id!r}: {exc}"
+            ) from exc
     if not playlists:
-        raise ValueError("MPD contains no representations")
+        raise PlaylistError("MPD contains no representations")
     return playlists

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.proto.errors import PlaylistError
 from repro.util.units import kbps, transfer_rate, transfer_volume
 from repro.util.validate import check_positive
 
@@ -233,8 +234,27 @@ def render_m3u8(playlist: HlsPlaylist) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: Upper bound on segments a parsed playlist may carry: far above any
+#: real rendition (200 s / 10 s = 20 segments) yet low enough that an
+#: adversarial playlist cannot balloon the player's memory.
+MAX_PLAYLIST_SEGMENTS = 65_536
+
+
+def _parse_tag_number(tag: str, raw: str) -> float:
+    """Strictly parse a numeric tag payload (finite, positive)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise PlaylistError(f"{tag} carries non-numeric value {raw!r}") from None
+    if not math.isfinite(value):
+        raise PlaylistError(f"{tag} carries non-finite value {raw!r}")
+    if value <= 0.0:
+        raise PlaylistError(f"{tag} must be positive, got {raw!r}")
+    return value
+
+
 def parse_m3u8(
-    text: str,
+    text: Union[str, bytes],
     video_name: str = "video",
     quality: Optional[VideoQuality] = None,
 ) -> HlsPlaylist:
@@ -243,43 +263,63 @@ def parse_m3u8(
     Segment sizes come from the ``#X-SIZE`` tag when present, otherwise
     from ``quality.bitrate_bps * duration`` (a real playlist does not carry
     sizes, so a quality hint is then required).
+
+    The parse path is fuzz-hardened: any malformed input — bad UTF-8,
+    non-numeric or non-finite tag values, orphan URIs, structural lies —
+    raises :class:`~repro.proto.errors.PlaylistError` (a
+    :class:`ProtocolError`), never a bare builtin exception.
     """
+    if isinstance(text, bytes):
+        try:
+            text = text.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PlaylistError(f"playlist is not valid UTF-8: {exc}") from None
     lines = [line.strip() for line in text.splitlines() if line.strip()]
     if not lines or lines[0] != "#EXTM3U":
-        raise ValueError("not an m3u8 playlist (missing #EXTM3U)")
+        raise PlaylistError("not an m3u8 playlist (missing #EXTM3U)")
     segments: List[MediaSegment] = []
     duration: Optional[float] = None
     size: Optional[float] = None
     for line in lines[1:]:
         if line.startswith("#EXTINF:"):
-            duration = float(line[len("#EXTINF:"):].rstrip(",").split(",")[0])
+            raw = line[len("#EXTINF:"):].rstrip(",").split(",")[0]
+            duration = _parse_tag_number("#EXTINF", raw)
         elif line.startswith("#X-SIZE:"):
-            size = float(line[len("#X-SIZE:"):])
+            size = _parse_tag_number("#X-SIZE", line[len("#X-SIZE:"):])
         elif not line.startswith("#"):
             if duration is None:
-                raise ValueError(f"segment {line!r} has no #EXTINF")
+                raise PlaylistError(f"segment {line!r} has no #EXTINF")
             if size is None:
                 if quality is None:
-                    raise ValueError(
+                    raise PlaylistError(
                         f"segment {line!r} has no #X-SIZE and no quality hint"
                     )
                 size = quality.segment_bytes(duration)
-            segments.append(
-                MediaSegment(
+            if len(segments) >= MAX_PLAYLIST_SEGMENTS:
+                raise PlaylistError(
+                    f"playlist exceeds {MAX_PLAYLIST_SEGMENTS} segments"
+                )
+            try:
+                segment = MediaSegment(
                     index=len(segments),
                     uri=line,
                     duration_s=duration,
                     size_bytes=size,
                 )
-            )
+            except ValueError as exc:
+                raise PlaylistError(f"invalid segment {line!r}: {exc}") from exc
+            segments.append(segment)
             duration = None
             size = None
     if not segments:
-        raise ValueError("playlist contains no segments")
+        raise PlaylistError("playlist contains no segments")
     if quality is None:
         mean_bitrate = transfer_rate(
             sum(s.size_bytes for s in segments),
             sum(s.duration_s for s in segments),
         )
         quality = VideoQuality("parsed", mean_bitrate)
-    return HlsPlaylist(video_name, quality, segments)
+    try:
+        return HlsPlaylist(video_name, quality, segments)
+    except ValueError as exc:
+        raise PlaylistError(f"inconsistent playlist: {exc}") from exc

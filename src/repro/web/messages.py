@@ -26,10 +26,23 @@ class Headers:
                 self.set(name, value)
 
     def set(self, name: str, value: str) -> None:
-        """Set (replace) a header."""
-        if not name or any(c in name for c in " \r\n:"):
+        """Set (replace) a header.
+
+        Names must be token-ish (no whitespace, colon or controls) and
+        values must carry no control characters except HTAB — a CR/LF
+        smuggled into a value would otherwise be rendered as an extra
+        header line on the wire (header injection).
+        """
+        if not name or any(c in name for c in " \r\n:") or any(
+            ord(c) < 0x20 or ord(c) == 0x7F for c in name
+        ):
             raise ValueError(f"invalid header name {name!r}")
-        self._items[name.lower()] = (name, str(value))
+        text = str(value)
+        if any((ord(c) < 0x20 and c != "\t") or ord(c) == 0x7F for c in text):
+            raise ValueError(
+                f"control character in value of header {name!r}: {text!r}"
+            )
+        self._items[name.lower()] = (name, text)
 
     def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
         """Get a header value, case-insensitively."""

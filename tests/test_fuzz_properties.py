@@ -1,0 +1,160 @@
+"""Property-based round-trip and taxonomy guarantees (hypothesis).
+
+Two families:
+
+* **Round trips** — rendering a valid object to wire bytes and parsing
+  it back yields the same object (m3u8 playlists, multipart bodies).
+* **Taxonomy closure** — feeding any fuzzed mutation of valid wire
+  bytes to a parser either succeeds or raises a typed
+  :class:`~repro.proto.errors.ProtocolError`; bare ``ValueError`` /
+  ``IndexError`` / ``UnicodeDecodeError`` escapes are failures.
+"""
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.mutators import mutate_bytes
+from repro.fuzz.targets import all_targets, get_target
+from repro.proto.errors import ProtocolError
+from repro.util.units import kbps
+from repro.web.hls import (
+    HlsPlaylist,
+    MediaSegment,
+    VideoQuality,
+    parse_m3u8,
+    render_m3u8,
+)
+from repro.web.upload import (
+    MultipartError,
+    MultipartPart,
+    decode_multipart,
+    encode_multipart,
+)
+
+TOKEN_ALPHABET = string.ascii_letters + string.digits + "-._"
+
+
+def make_playlist(durations_sizes):
+    segments = [
+        MediaSegment(
+            index=i,
+            uri=f"/vid/Q/seg{i:05d}.ts",
+            duration_s=duration,
+            size_bytes=float(size),
+        )
+        for i, (duration, size) in enumerate(durations_sizes)
+    ]
+    return HlsPlaylist("vid", VideoQuality("Q", kbps(400.0)), segments)
+
+
+# ---------------------------------------------------------------------------
+# Round trip: m3u8 render -> parse
+# ---------------------------------------------------------------------------
+
+
+class TestM3u8RoundTrip:
+    @given(
+        st.lists(
+            st.tuples(
+                # Durations in the renderer's %.3f precision grid.
+                st.integers(min_value=1, max_value=60_000).map(
+                    lambda ms: ms / 1000.0
+                ),
+                st.integers(min_value=1, max_value=10**9),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_render_parse_identity(self, durations_sizes):
+        playlist = make_playlist(durations_sizes)
+        parsed = parse_m3u8(render_m3u8(playlist), video_name="vid")
+        assert len(parsed.segments) == len(playlist.segments)
+        for original, round_tripped in zip(
+            playlist.segments, parsed.segments
+        ):
+            assert round_tripped.uri == original.uri
+            assert round_tripped.duration_s == pytest.approx(
+                original.duration_s, abs=5e-4
+            )
+            assert round_tripped.size_bytes == pytest.approx(
+                original.size_bytes, abs=0.5
+            )
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_bytes_never_escape_taxonomy(self, data):
+        try:
+            parse_m3u8(data)
+        except ProtocolError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Round trip: multipart encode -> decode
+# ---------------------------------------------------------------------------
+
+
+part_strategy = st.builds(
+    MultipartPart,
+    name=st.text(alphabet=TOKEN_ALPHABET, min_size=1, max_size=12),
+    filename=st.text(alphabet=TOKEN_ALPHABET, min_size=1, max_size=16),
+    content_type=st.sampled_from(
+        ["image/jpeg", "image/png", "application/octet-stream"]
+    ),
+    payload=st.binary(max_size=256),
+)
+
+
+class TestMultipartRoundTrip:
+    @given(st.lists(part_strategy, min_size=1, max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_encode_decode_identity_or_typed_rejection(self, parts):
+        # A payload containing the delimiter is unencodable (multipart
+        # has no escaping); everything else must round-trip exactly.
+        try:
+            body = encode_multipart(parts)
+        except MultipartError:
+            return
+        assert decode_multipart(body) == tuple(parts)
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_bytes_never_escape_taxonomy(self, data):
+        try:
+            decode_multipart(data)
+        except ProtocolError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy closure under fuzzed mutation, for every target
+# ---------------------------------------------------------------------------
+
+
+class TestMutationClosure:
+    @pytest.mark.parametrize(
+        "target_name", [t.name for t in all_targets()]
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_mutations_parse_or_raise_protocol_error(
+        self, target_name, seed
+    ):
+        target = get_target(target_name)
+        rng = random.Random(seed)
+        base = rng.choice(target.seeds)
+        if target.structured_mutators and rng.random() < 0.5:
+            payload = rng.choice(target.structured_mutators)(rng, base)
+        else:
+            payload = mutate_bytes(rng, base)
+        try:
+            target.execute(payload)
+        except ProtocolError:
+            pass
+        # Any other exception propagates and fails the property.

@@ -1,4 +1,4 @@
-"""repro-lint: the engine, the five RL rules, reporters and the CLI.
+"""repro-lint: the engine, the six RL rules, reporters and the CLI.
 
 Each rule is exercised on small fixture modules with synthetic
 ``repro/...`` paths (scoping works on the parts after the last ``repro``
@@ -51,9 +51,9 @@ def codes_of(findings):
 
 
 class TestRegistry:
-    def test_five_rules_registered_in_order(self):
+    def test_six_rules_registered_in_order(self):
         assert [r.code for r in all_rules()] == [
-            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
         ]
 
     def test_every_rule_has_title_and_rationale(self):
@@ -80,7 +80,7 @@ class TestRegistry:
     def test_ignore_drops(self):
         remaining = [r.code for r in select_rules(ignore=["RL003"])]
         assert "RL003" not in remaining
-        assert len(remaining) == 4
+        assert len(remaining) == 5
 
 
 class TestEngine:
@@ -480,6 +480,90 @@ class TestFloatEqualityRule:
 
 
 # ---------------------------------------------------------------------------
+# RL006 — wire parse paths raise the ProtocolError taxonomy
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolTaxonomyRule:
+    def test_parse_function_raising_valueerror_flagged(self):
+        src = """\
+            def parse_thing(raw):
+                if not raw:
+                    raise ValueError("empty")
+                return raw
+            """
+        path = "repro/proto/x.py"
+        findings = lint(src, path, codes=["RL006"])
+        assert codes_of(findings) == ["RL006"]
+        assert "ValueError" in findings[0].message
+
+    @pytest.mark.parametrize(
+        "name", ["decode_body", "read_head", "_recv_chunk", "_check_token"]
+    )
+    def test_all_parse_prefixes_covered(self, name):
+        src = f"def {name}(raw):\n    raise KeyError(raw)\n"
+        path = "repro/web/x.py"
+        assert codes_of(lint(src, path, codes=["RL006"])) == ["RL006"]
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            "ProtocolError",
+            "WireError",
+            "FramingError",
+            "StallError",
+            "PlaylistError",
+            "MultipartError",
+        ],
+    )
+    def test_taxonomy_raises_are_fine(self, error):
+        src = (
+            f"from repro.proto.errors import {error}\n"
+            "def parse_thing(raw):\n"
+            f"    raise {error}('bad')\n"
+        )
+        assert lint(src, "repro/proto/x.py", codes=["RL006"]) == []
+
+    def test_non_parse_function_may_raise_builtins(self):
+        src = "def render_thing(x):\n    raise ValueError('bad')\n"
+        assert lint(src, "repro/web/x.py", codes=["RL006"]) == []
+
+    def test_bare_reraise_is_fine(self):
+        src = """\
+            def parse_thing(raw):
+                try:
+                    return raw
+                except Exception:
+                    raise
+            """
+        assert lint(src, "repro/proto/x.py", codes=["RL006"]) == []
+
+    def test_nested_helper_checked_independently(self):
+        # The nested def is itself parse-named, so the raise is
+        # attributed to it, not its non-parse parent (and still flagged).
+        src = """\
+            def build(raw):
+                def parse_inner(piece):
+                    raise IndexError(piece)
+                return parse_inner(raw)
+            """
+        findings = lint(src, "repro/proto/x.py", codes=["RL006"])
+        assert codes_of(findings) == ["RL006"]
+        assert "parse_inner" in findings[0].message
+
+    def test_does_not_apply_outside_proto_and_web(self):
+        src = "def parse_thing(raw):\n    raise ValueError('bad')\n"
+        assert lint(src, "repro/core/x.py", codes=["RL006"]) == []
+
+    def test_inline_suppression_for_control_flow(self):
+        src = (
+            "def read_thing(raw):\n"
+            "    raise StopIteration  # repro-lint: disable=RL006\n"
+        )
+        assert lint(src, "repro/proto/x.py", codes=["RL006"]) == []
+
+
+# ---------------------------------------------------------------------------
 # Reporters and CLI
 # ---------------------------------------------------------------------------
 
@@ -552,7 +636,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
             assert code in out
 
     def test_missing_path_is_usage_error(self, tmp_path, capsys):

@@ -30,6 +30,20 @@ class TestHeaders:
     def test_equality(self):
         assert Headers({"A": "1"}) == Headers({"a": "1"})
 
+    @pytest.mark.parametrize(
+        "value", ["a\r\nInjected: x", "a\nb", "a\x00b", "a\x7fb"]
+    )
+    def test_control_characters_in_value_rejected(self, value):
+        # Header-injection regression: a value carrying CR/LF/NUL/DEL
+        # must never serialise into the header section.
+        with pytest.raises(ValueError, match="control character"):
+            Headers().set("X-Name", value)
+
+    def test_horizontal_tab_in_value_allowed(self):
+        headers = Headers()
+        headers.set("X-Name", "a\tb")
+        assert headers.get("x-name") == "a\tb"
+
 
 class TestHttpRequest:
     def test_method_normalised(self):
