@@ -14,9 +14,12 @@ discovery layer asks — *may this device advertise right now?*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.util.validate import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.capture import Instrumentation
 
 _SECONDS_PER_DAY = 86_400.0
 
@@ -36,6 +39,23 @@ class CapTracker:
     def __post_init__(self) -> None:
         check_non_negative("daily_budget_bytes", self.daily_budget_bytes)
         check_non_negative("used_today_bytes", self.used_today_bytes)
+        # Instrumentation lives in instance attributes (not dataclass
+        # fields) so serializers walking `dataclasses.fields` never see
+        # the handle.
+        self._obs: Optional["Instrumentation"] = None
+        self._obs_device: str = ""
+
+    def bind_obs(
+        self, obs: Optional["Instrumentation"], device: str = ""
+    ) -> None:
+        """Attach an instrumentation handle, labelled with ``device``.
+
+        The :class:`~repro.core.resilience.TransferGuard` binds each
+        attached phone's tracker so metered bytes and remaining quota
+        surface as ``cap.metered_bytes`` / ``cap.available_bytes``.
+        """
+        self._obs = obs
+        self._obs_device = device
 
     def _roll(self, now: float) -> None:
         day = int(now // _SECONDS_PER_DAY)
@@ -66,6 +86,15 @@ class CapTracker:
         self.used_today_bytes += nbytes
         day = self.current_day
         self.usage_by_day[day] = self.usage_by_day.get(day, 0.0) + nbytes
+        if self._obs is not None:
+            self._obs.count(
+                "cap.metered_bytes", amount=nbytes, device=self._obs_device
+            )
+            self._obs.gauge(
+                "cap.available_bytes",
+                max(0.0, self.daily_budget_bytes - self.used_today_bytes),
+                device=self._obs_device,
+            )
 
     @property
     def total_used_bytes(self) -> float:

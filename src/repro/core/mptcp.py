@@ -56,6 +56,7 @@ class CoupledMptcpLink(Link):
         )
 
     def capacity_at(self, time: float) -> float:
+        """Coupled aggregate rate: primary plus discounted secondaries."""
         rates = [path.capacity_estimate(time) for path in self.paths]
         primary = rates[0]
         if primary is math.inf:
@@ -63,6 +64,7 @@ class CoupledMptcpLink(Link):
         return primary + self.coupling_efficiency * sum(rates[1:])
 
     def next_change_after(self, time: float) -> float:
+        """Earliest capacity change across every subflow's links."""
         return min(
             link.next_change_after(time)
             for path in self.paths

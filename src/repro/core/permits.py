@@ -16,6 +16,7 @@ import contextlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.capture import Instrumentation, current as obs_current
 from repro.util.validate import check_fraction, check_positive
 
 #: "cached for a certain duration (few minutes)"
@@ -51,8 +52,11 @@ class PermitServer:
         utilization_fn: Callable[[str, float], float],
         acceptance_threshold: float = DEFAULT_ACCEPTANCE_THRESHOLD,
         permit_ttl: float = DEFAULT_PERMIT_TTL,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.utilization_fn = utilization_fn
+        #: Instrumentation handle (``None``: checkpoints are no-ops).
+        self.obs = obs if obs is not None else obs_current()
         self.acceptance_threshold = check_fraction(
             "acceptance_threshold", acceptance_threshold
         )
@@ -98,6 +102,15 @@ class PermitServer:
         )
         if utilization >= self.acceptance_threshold:
             self.denied_count += 1
+            if self.obs is not None:
+                self.obs.event(
+                    "permit.deny",
+                    time=now,
+                    device=device_name,
+                    cell=cell_name,
+                    utilization=utilization,
+                )
+                self.obs.count("permits.denied")
             return None
         permit = Permit(
             device_name=device_name,
@@ -106,6 +119,15 @@ class PermitServer:
         )
         self._permits[device_name] = permit
         self.granted_count += 1
+        if self.obs is not None:
+            self.obs.event(
+                "permit.grant",
+                time=now,
+                device=device_name,
+                cell=cell_name,
+                expires_at=permit.expires_at,
+            )
+            self.obs.count("permits.granted")
         return permit
 
     def has_valid_permit(self, device_name: str, now: float) -> bool:
@@ -123,6 +145,11 @@ class PermitServer:
             return False
         permit.revoked = True
         self.revoked_count += 1
+        if self.obs is not None:
+            # revoke() has no clock parameter; the event carries a null
+            # timestamp rather than inventing one.
+            self.obs.event("permit.revoke", device=device_name)
+            self.obs.count("permits.revoked")
         for listener in list(self._revocation_listeners):
             listener(device_name)
         return True

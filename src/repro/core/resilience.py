@@ -34,6 +34,7 @@ from repro.core.scheduler.runner import (
 from repro.netsim.faults import FaultEvent, FaultSchedule
 from repro.netsim.fluid import FluidNetwork
 from repro.netsim.path import NetworkPath
+from repro.obs.capture import Instrumentation, current as obs_current
 
 
 class DegradationLog:
@@ -52,9 +53,13 @@ class DegradationLog:
     type usable from simulated code bound by the determinism rules.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Instrumentation] = None) -> None:
         self._events: List[DegradationEvent] = []
         self._lock = threading.Lock()
+        #: Instrumentation handle; threaded callers only touch locked
+        #: counters (never the tracer — their clocks are wall-relative,
+        #: which would break trace determinism).
+        self._obs = obs if obs is not None else obs_current()
 
     def record(
         self,
@@ -74,6 +79,8 @@ class DegradationLog:
         )
         with self._lock:
             self._events.append(event)
+        if self._obs is not None:
+            self._obs.count("proto.degradations", kind=kind)
         return event
 
     @property
@@ -118,10 +125,13 @@ class TransferGuard:
         components: Mapping[str, MobileComponent],
         permit_server: Optional[PermitServer] = None,
         network: Optional[FluidNetwork] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.components = dict(components)
         self.permit_server = permit_server
         self.network = network
+        #: Instrumentation handle (``None``: checkpoints are no-ops).
+        self._obs = obs if obs is not None else obs_current()
         self._runner: Optional[TransactionRunner] = None
         self._paths: List[NetworkPath] = []
         self._metered: Dict[str, float] = {}
@@ -149,6 +159,17 @@ class TransferGuard:
             self.network = runner.network
         self._chained = runner.on_item_complete
         runner.on_item_complete = self._on_item_complete
+        if self._obs is not None:
+            for path in self._paths:
+                component = self._component_for(path)
+                if (
+                    component is not None
+                    and component.cap_tracker is not None
+                    and path.device is not None
+                ):
+                    component.cap_tracker.bind_obs(
+                        self._obs, device=path.device.name
+                    )
         if self.permit_server is not None:
             self._unsubscribe = self.permit_server.subscribe_revocations(
                 self._on_permit_revoked
@@ -186,7 +207,7 @@ class TransferGuard:
                 self._metered[path.name] += record.size_bytes
                 tracker = component.cap_tracker
                 if tracker is not None and not tracker.may_advertise(now):
-                    self._runner.remove_path(
+                    removed = self._runner.remove_path(
                         path.name,
                         drain=True,
                         kind="cap-exhausted",
@@ -194,6 +215,14 @@ class TransferGuard:
                             f"{path.device.name} exhausted today's quota"
                         ),
                     )
+                    if (
+                        removed
+                        and self._obs is not None
+                        and path.device is not None
+                    ):
+                        self._obs.count(
+                            "cap.exhaustions", device=path.device.name
+                        )
         if self._chained is not None:
             self._chained(record)
 

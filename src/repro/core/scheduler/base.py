@@ -10,10 +10,13 @@ three compared schedulers differ only in their assignment rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.core.items import TransferItem
 from repro.netsim.path import NetworkPath
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.capture import Instrumentation
 
 
 @dataclass
@@ -78,6 +81,30 @@ class SchedulingPolicy:
 
     #: Paper abbreviation, set by subclasses (GRD / RR / MIN).
     name: str = "?"
+    #: Instrumentation handle the runner binds before the run starts;
+    #: ``None`` keeps every policy checkpoint a no-op.
+    obs: Optional["Instrumentation"] = None
+
+    def bind_obs(self, obs: Optional["Instrumentation"]) -> None:
+        """Attach (or, with ``None``, detach) an instrumentation handle.
+
+        The :class:`~repro.core.scheduler.runner.TransactionRunner`
+        calls this from its constructor, so policies built by
+        experiments pick up an active capture without plumbing.
+        """
+        self.obs = obs
+
+    def _count(
+        self, metric: str, amount: float = 1.0, **labels: Any
+    ) -> None:
+        """Increment a policy metric (labelled with :attr:`name`).
+
+        The no-op fast path when nothing captures — one attribute test.
+        """
+        if self.obs is not None:
+            self.obs.count(
+                metric, amount=amount, policy=self.name, **labels
+            )
 
     def initialize(
         self, workers: Sequence[PathWorker], items: Sequence[TransferItem]

@@ -89,6 +89,7 @@ class DeadlinePolicy(SchedulingPolicy):
     def initialize(
         self, workers: Sequence[PathWorker], items: Sequence[TransferItem]
     ) -> None:
+        """Adopt the worker set and queue the items in deadline order."""
         self._workers = tuple(workers)
         # Keep deadline order even if the caller shuffled the items.
         self._pending = sorted(items, key=item_deadline)
@@ -114,6 +115,7 @@ class DeadlinePolicy(SchedulingPolicy):
     def next_item(
         self, worker: PathWorker, now: float
     ) -> Optional[WorkAssignment]:
+        """Earliest-deadline-first pick, with urgency pre-emption."""
         if self._started_at is None:
             self._started_at = now
         elapsed = now - self._started_at - self.startup_grace
@@ -124,10 +126,12 @@ class DeadlinePolicy(SchedulingPolicy):
             urgent is not None
             and item_deadline(urgent) <= elapsed + self.urgency_margin
         ):
+            self._count("scheduler.urgent_duplicates")
             return WorkAssignment(item=urgent, duplicate=True)
         if self._pending:
             return WorkAssignment(item=self._pending.pop(0), duplicate=False)
         if urgent is not None:
+            self._count("scheduler.endgame_duplicates")
             return WorkAssignment(item=urgent, duplicate=True)
         return None
 
@@ -138,6 +142,7 @@ class DeadlinePolicy(SchedulingPolicy):
         if item not in self._pending:
             self._pending.append(item)
             self._pending.sort(key=item_deadline)
+            self._count("scheduler.requeues")
 
     def on_membership_change(
         self, workers: Sequence[PathWorker], now: float

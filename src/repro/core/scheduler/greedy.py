@@ -49,6 +49,7 @@ class GreedyPolicy(SchedulingPolicy):
     def initialize(
         self, workers: Sequence[PathWorker], items: Sequence[TransferItem]
     ) -> None:
+        """Adopt the worker set and queue the items in arrival order."""
         self._workers = tuple(workers)
         self._pending = list(items)
         self._schedule_order = {}
@@ -57,6 +58,7 @@ class GreedyPolicy(SchedulingPolicy):
     def next_item(
         self, worker: PathWorker, now: float
     ) -> Optional[WorkAssignment]:
+        """Greedy pick: pending work first, endgame duplicates after."""
         # Phase 1: unscheduled items go, in order, to the first idle path.
         if self._pending:
             item = self._pending.pop(0)
@@ -82,6 +84,7 @@ class GreedyPolicy(SchedulingPolicy):
         oldest = min(
             candidates, key=lambda item: self._schedule_order[item.label]
         )
+        self._count("scheduler.endgame_duplicates")
         return WorkAssignment(item=oldest, duplicate=True)
 
     def on_item_failed(
@@ -90,6 +93,7 @@ class GreedyPolicy(SchedulingPolicy):
         """Re-queue the failed item at the head (it is the most overdue)."""
         if item not in self._pending:
             self._pending.insert(0, item)
+            self._count("scheduler.requeues")
 
     def on_membership_change(
         self, workers: Sequence[PathWorker], now: float

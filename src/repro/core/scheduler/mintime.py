@@ -74,6 +74,7 @@ class MinTimePolicy(SchedulingPolicy):
     def initialize(
         self, workers: Sequence[PathWorker], items: Sequence[TransferItem]
     ) -> None:
+        """Adopt the workers; bootstrap one item per path, park the rest."""
         self._workers = tuple(workers)
         self._queues = {worker.index: [] for worker in workers}
         self._estimates = {worker.index: None for worker in workers}
@@ -101,6 +102,7 @@ class MinTimePolicy(SchedulingPolicy):
         duration: float,
         now: float,
     ) -> None:
+        """Fold the completed transfer into the path's EWMA estimate."""
         if duration <= 0.0:
             return
         # Application-level goodput: the sample includes request overhead
@@ -110,6 +112,7 @@ class MinTimePolicy(SchedulingPolicy):
         self._estimates[worker.index] = ewma_update(
             self._estimates.get(worker.index), sample, self.smoothing
         )
+        self._count("scheduler.estimate_updates")
 
     # ------------------------------------------------------------------
     # Assignment
@@ -143,11 +146,13 @@ class MinTimePolicy(SchedulingPolicy):
                 ),
             )
             self._queues[best.index].append(item)
+            self._count("scheduler.committed_items")
         self._flushed = True
 
     def next_item(
         self, worker: PathWorker, now: float
     ) -> Optional[WorkAssignment]:
+        """Next item from this path's makespan-balanced queue."""
         if not self._flushed and any(
             est is not None for est in self._estimates.values()
         ):
@@ -177,11 +182,13 @@ class MinTimePolicy(SchedulingPolicy):
         """
         stranded = [item] + self._queues.get(worker.index, [])
         self._queues[worker.index] = []
+        self._count("scheduler.requeues", amount=float(len(stranded)))
         alive = [w for w in self._workers if w.available]
         if not alive:
             for moved in stranded:
                 if moved not in self._unassigned:
                     self._unassigned.append(moved)
+                    self._count("scheduler.orphaned_items")
             self._flushed = False
             return
         for moved in stranded:

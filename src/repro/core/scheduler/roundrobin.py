@@ -36,6 +36,7 @@ class RoundRobinPolicy(SchedulingPolicy):
     def initialize(
         self, workers: Sequence[PathWorker], items: Sequence[TransferItem]
     ) -> None:
+        """Deal the items round-robin into per-path queues."""
         self._workers = tuple(workers)
         self._queues = {worker.index: [] for worker in workers}
         self._orphans = []
@@ -46,6 +47,7 @@ class RoundRobinPolicy(SchedulingPolicy):
     def next_item(
         self, worker: PathWorker, now: float
     ) -> Optional[WorkAssignment]:
+        """Next item from this path's own queue (orphans rescued first)."""
         if self._orphans:
             return WorkAssignment(item=self._orphans.pop(0), duplicate=False)
         queue = self._queues.get(worker.index)
@@ -66,11 +68,13 @@ class RoundRobinPolicy(SchedulingPolicy):
         """
         stranded = [item] + self._queues.get(worker.index, [])
         self._queues[worker.index] = []
+        self._count("scheduler.requeues", amount=float(len(stranded)))
         alive = [w for w in self._workers if w.available]
         if not alive:
             for moved in stranded:
                 if moved not in self._orphans:
                     self._orphans.append(moved)
+                    self._count("scheduler.orphaned_items")
             return
         for i, moved in enumerate(stranded):
             target = alive[i % len(alive)]
@@ -102,6 +106,10 @@ class RoundRobinPolicy(SchedulingPolicy):
         self._orphans = []
         for worker in self._workers:
             self._queues[worker.index] = []
+        if pending:
+            self._count(
+                "scheduler.redealt_items", amount=float(len(pending))
+            )
         for i, item in enumerate(pending):
             self._queues[alive[i % len(alive)].index].append(item)
 

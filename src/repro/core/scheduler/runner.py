@@ -32,6 +32,7 @@ from repro.core.items import Transaction, TransferItem
 from repro.core.scheduler.base import PathWorker, SchedulingPolicy
 from repro.netsim.fluid import Flow, FluidNetwork
 from repro.netsim.path import NetworkPath
+from repro.obs.capture import Instrumentation, current as obs_current
 from repro.util.units import transfer_rate
 
 
@@ -208,6 +209,7 @@ class TransactionRunner:
         on_item_complete: Optional[Callable[[ItemRecord], None]] = None,
         retry_policy: Optional[RetryPolicy] = None,
         stall_timeout_s: Optional[float] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if not paths:
             raise ValueError("need at least one path")
@@ -224,6 +226,10 @@ class TransactionRunner:
         self.on_item_complete = on_item_complete
         self.retry_policy = retry_policy or RetryPolicy()
         self.stall_timeout_s = stall_timeout_s
+        #: Instrumentation handle; ``None`` (no active capture) keeps
+        #: every checkpoint on the one-attribute-test fast path.
+        self.obs = obs if obs is not None else obs_current()
+        self.policy.bind_obs(self.obs)
         #: Structured log of every fault/drain/stall/recovery.
         self.degradations: List[DegradationEvent] = []
 
@@ -263,6 +269,15 @@ class TransactionRunner:
 
     def _record(self, event: DegradationEvent) -> None:
         self.degradations.append(event)
+        if self.obs is not None:
+            self.obs.event(
+                "degradation",
+                time=event.time,
+                kind=event.kind,
+                path=event.path_name,
+                item=event.item_label,
+            )
+            self.obs.count("runner.degradations", kind=event.kind)
 
     def _refresh_worker_snapshots(self) -> None:
         for worker in self._workers:
@@ -316,6 +331,16 @@ class TransactionRunner:
         self._copies.setdefault(item.label, []).append(
             _CopyState(worker=worker, flow=flow, issued_at=now)
         )
+        if self.obs is not None:
+            self.obs.event(
+                "copy.start",
+                time=now,
+                path=worker.path.name,
+                item=item.label,
+                size_bytes=item.size_bytes,
+                duplicate=assignment.duplicate,
+            )
+            self.obs.count("runner.copies", path=worker.path.name)
         self.network.add_flow(flow, delay=delay)
         if self.stall_timeout_s is not None:
             self._arm_watchdog(worker, item, flow, flow.remaining_bytes)
@@ -351,6 +376,20 @@ class TransactionRunner:
             # A sibling copy won in this same simulation step; everything
             # this copy moved is overhead.
             self._wasted += flow.transferred_bytes
+            if self.obs is not None:
+                self.obs.event(
+                    "copy.waste",
+                    time=now,
+                    path=worker.path.name,
+                    item=item.label,
+                    transferred_bytes=flow.transferred_bytes,
+                    cause="duplicate",
+                )
+                self.obs.count(
+                    "runner.waste_bytes",
+                    amount=flow.transferred_bytes,
+                    cause="duplicate",
+                )
             self.policy.on_item_complete(worker, item, duration, now)
             self._dispatch(worker)
             return
@@ -364,6 +403,27 @@ class TransactionRunner:
         )
         self._completed[item.label] = record
         worker.completed_bytes += flow.transferred_bytes
+        if self.obs is not None:
+            queue_s = record.scheduled_at - self._started_at
+            self.obs.event(
+                "item.complete",
+                time=now,
+                path=worker.path.name,
+                item=item.label,
+                copies=record.copies,
+                elapsed_s=record.elapsed,
+                queue_s=queue_s,
+            )
+            self.obs.count(
+                "runner.items_completed", path=worker.path.name
+            )
+            self.obs.count(
+                "runner.bytes_completed",
+                amount=flow.transferred_bytes,
+                path=worker.path.name,
+            )
+            self.obs.observe("runner.item_elapsed_s", record.elapsed)
+            self.obs.observe("runner.item_queue_s", queue_s)
         self.policy.on_item_complete(worker, item, duration, now)
         if self.on_item_complete is not None:
             self.on_item_complete(record)
@@ -375,6 +435,15 @@ class TransactionRunner:
                 self.network.abort_flow(copy.flow)
         if len(self._completed) == self._items_total:
             self._finished_at = now
+            if self.obs is not None and self._transaction is not None:
+                self.obs.event(
+                    "txn.end",
+                    time=now,
+                    transaction=self._transaction.name,
+                    policy=self.policy.name,
+                    wasted_bytes=self._wasted,
+                    payload_bytes=self._transaction.total_bytes,
+                )
             return
         self._dispatch_idle()
 
@@ -386,6 +455,34 @@ class TransactionRunner:
         worker.path.record_usage(flow.transferred_bytes)
         worker.path.notify_activity(now)
         self._wasted += flow.transferred_bytes
+        if self.obs is not None:
+            cause = (
+                "fault"
+                if flow.flow_id in self._fault_aborting
+                else "duplicate"
+            )
+            issued_at = next(
+                (
+                    c.issued_at
+                    for c in self._copies.get(item.label, [])
+                    if c.flow is flow
+                ),
+                now,
+            )
+            self.obs.event(
+                "copy.abort",
+                time=now,
+                path=worker.path.name,
+                item=item.label,
+                transferred_bytes=flow.transferred_bytes,
+                cause=cause,
+            )
+            self.obs.count(
+                "runner.waste_bytes",
+                amount=flow.transferred_bytes,
+                cause=cause,
+            )
+            self.obs.observe("runner.copy_abort_age_s", now - issued_at)
         self._release_worker(worker, flow)
         if flow.flow_id in self._fault_aborting:
             # remove_path / the stall watchdog drives recovery itself
@@ -442,6 +539,16 @@ class TransactionRunner:
                 )
             )
         delay = self.retry_policy.backoff(attempt)
+        if self.obs is not None:
+            self.obs.event(
+                "retry.scheduled",
+                time=now,
+                path=worker.path.name,
+                item=item.label,
+                attempt=attempt,
+                delay_s=delay,
+            )
+            self.obs.count("runner.retries", policy=self.policy.name)
 
         def requeue() -> None:
             self._requeue_pending.discard(item.label)
@@ -512,6 +619,21 @@ class TransactionRunner:
         self._baseline_path_bytes = {
             path.name: path.bytes_used for path in self.paths
         }
+        if self.obs is not None:
+            self.obs.event(
+                "txn.begin",
+                time=self._started_at,
+                transaction=transaction.name,
+                policy=self.policy.name,
+                items=self._items_total,
+                payload_bytes=transaction.total_bytes,
+            )
+            self.obs.count(
+                "runner.transactions", policy=self.policy.name
+            )
+            self.obs.gauge(
+                "runner.active_paths", float(len(self.active_path_names))
+            )
         self.policy.initialize(self._workers, transaction.items)
         for worker in self._workers:
             self._dispatch(worker)
@@ -556,6 +678,11 @@ class TransactionRunner:
                     detail=detail or "draining: current copy may finish",
                 )
             )
+            if self.obs is not None:
+                self.obs.gauge(
+                    "runner.active_paths",
+                    float(len(self.active_path_names)),
+                )
             return True
         worker.draining = False
         worker.disabled = True
@@ -568,6 +695,10 @@ class TransactionRunner:
                 detail=detail,
             )
         )
+        if self.obs is not None:
+            self.obs.gauge(
+                "runner.active_paths", float(len(self.active_path_names))
+            )
         flow = self._worker_flow.get(worker.index)
         if flow is not None and not flow.is_done:
             self._abort_for_fault(flow)
@@ -617,6 +748,10 @@ on_membership_change` and the path starts pulling work immediately.
                 DegradationEvent(
                     time=now, kind="path-join", path_name=path.name
                 )
+            )
+        if self.obs is not None:
+            self.obs.gauge(
+                "runner.active_paths", float(len(self.active_path_names))
             )
         self.policy.on_membership_change(tuple(self._workers), now)
         if self._items_total and self._finished_at is None:

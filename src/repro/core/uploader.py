@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.resilience import TransferGuard
 from repro.netsim.fluid import FluidNetwork
 from repro.netsim.path import NetworkPath
+from repro.obs.capture import Instrumentation
 from repro.web.upload import MultipartUpload, Photo
 
 
@@ -63,12 +64,15 @@ class MultipartUploader:
         guard: Optional["TransferGuard"] = None,
         retry_policy: Optional[RetryPolicy] = None,
         stall_timeout_s: Optional[float] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> UploadReport:
         """Upload ``photos`` across ``paths``; returns timing report.
 
         ``guard`` (a :class:`~repro.core.resilience.TransferGuard`) makes
         the upload react mid-flight to permit revocations and cap
-        exhaustion, degrading to the surviving paths.
+        exhaustion, degrading to the surviving paths. ``obs`` overrides
+        the runner's instrumentation handle (default: the active
+        capture, if any).
         """
         items = photos_to_items(photos)
         transaction = Transaction(
@@ -80,6 +84,7 @@ class MultipartUploader:
             make_policy(policy_name),
             retry_policy=retry_policy,
             stall_timeout_s=stall_timeout_s,
+            obs=obs,
         )
         if guard is not None:
             guard.attach(runner, paths)

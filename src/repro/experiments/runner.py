@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments import registry
+from repro.obs.capture import capture
 from repro.util.serialize import jsonable
 
 __all__ = [
@@ -94,6 +95,13 @@ class ExperimentOutcome:
     payload: Optional[Dict[str, Any]] = None
     #: Formatted traceback when :attr:`status` is ``"error"``.
     error: str = ""
+    #: Deterministic trace export (JSONL lines) when the experiment ran
+    #: under ``trace=True``; ``None`` otherwise. Deliberately *not* part
+    #: of :meth:`to_dict` — the ``repro run --json`` contract is stable.
+    trace_lines: Optional[List[str]] = None
+    #: Wall-clock phase timings (``run_s``, ``render_s``) of a fresh
+    #: run. Nondeterministic, so also excluded from :meth:`to_dict`.
+    profile: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -170,30 +178,55 @@ class ResultCache:
             tmp.replace(path)
 
 
-def _execute(experiment_id: str, params: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one experiment; returns the cache-entry-shaped record."""
+def _execute(
+    experiment_id: str, params: Dict[str, Any], trace: bool = False
+) -> Dict[str, Any]:
+    """Run one experiment; returns the cache-entry-shaped record.
+
+    With ``trace=True`` the experiment body runs under an
+    :func:`~repro.obs.capture.capture` scope, and the record carries the
+    deterministic JSONL export in ``"trace"``. Traces travel in-band
+    through the worker record, so parallel runs see the same bytes as
+    serial ones.
+    """
     spec = registry.get(experiment_id)
     started = time.perf_counter()
-    result = spec.func(**params)
-    elapsed = time.perf_counter() - started
+    if trace:
+        with capture() as instrumentation:
+            result = spec.func(**params)
+        trace_export = instrumentation.export_lines(
+            experiment_id=experiment_id, params=jsonable(params)
+        )
+    else:
+        result = spec.func(**params)
+        trace_export = None
+    ran = time.perf_counter()
     rendered = result.render()
     payload = result.to_dict()
     # Fail here, inside the isolation boundary, if a result's payload is
     # not actually JSON-serializable.
     json.dumps(payload)
-    return {
+    finished = time.perf_counter()
+    record: Dict[str, Any] = {
         "rendered": rendered,
         "payload": payload,
-        "elapsed_s": elapsed,
+        "elapsed_s": ran - started,
+        "profile": {
+            "run_s": ran - started,
+            "render_s": finished - ran,
+        },
     }
+    if trace_export is not None:
+        record["trace"] = trace_export
+    return record
 
 
 def _worker(
-    experiment_id: str, params: Dict[str, Any]
+    experiment_id: str, params: Dict[str, Any], trace: bool = False
 ) -> Dict[str, Any]:
     """Pool entry point: never raises, reports crashes in-band."""
     try:
-        return _execute(experiment_id, params)
+        return _execute(experiment_id, params, trace=trace)
     except BaseException:  # noqa: BLE001 — isolation boundary
         return {"error": traceback.format_exc()}
 
@@ -220,6 +253,8 @@ def _outcome(
         params=params,
         rendered=str(record.get("rendered", "")),
         payload=record.get("payload"),
+        trace_lines=record.get("trace"),
+        profile=record.get("profile"),
     )
 
 
@@ -239,6 +274,7 @@ def run_experiments(
     overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
     cache: Optional[ResultCache] = None,
     on_complete: Optional[Callable[[ExperimentOutcome], None]] = None,
+    trace: bool = False,
 ) -> List[ExperimentOutcome]:
     """Execute ``ids`` and return their outcomes in request order.
 
@@ -247,8 +283,14 @@ def run_experiments(
     ``overrides`` maps experiment id to extra keyword arguments layered
     on top of the spec's parameters. ``cache``, when given, is consulted
     before running and updated after. ``on_complete`` fires once per
-    experiment, in completion order.
+    experiment, in completion order. ``trace`` runs every experiment
+    under an instrumentation capture and attaches the deterministic
+    JSONL export to each outcome (``trace_lines``); trace runs bypass
+    the cache entirely — a cached entry has no trace, and a traced
+    entry must never be served as a plain one.
     """
+    if trace:
+        cache = None
     params_by_id: Dict[str, Dict[str, Any]] = {}
     for experiment_id in ids:
         spec = registry.get(experiment_id)  # raises on unknown ids
@@ -294,7 +336,13 @@ def run_experiments(
     if pending and jobs <= 1:
         for experiment_id in pending:
             params = params_by_id[experiment_id]
-            finish(_outcome(experiment_id, params, _worker(experiment_id, params)))
+            finish(
+                _outcome(
+                    experiment_id,
+                    params,
+                    _worker(experiment_id, params, trace=trace),
+                )
+            )
     elif pending:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(pending)),
@@ -302,7 +350,10 @@ def run_experiments(
         ) as pool:
             futures = {
                 pool.submit(
-                    _worker, experiment_id, params_by_id[experiment_id]
+                    _worker,
+                    experiment_id,
+                    params_by_id[experiment_id],
+                    trace,
                 ): experiment_id
                 for experiment_id in pending
             }

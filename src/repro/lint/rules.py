@@ -1,4 +1,4 @@
-"""The domain rules: RL001-RL006.
+"""The domain rules: RL001-RL007.
 
 Each rule encodes one convention the reproduction's correctness rests
 on. They are deliberately narrow: a rule that cries wolf gets disabled,
@@ -668,3 +668,83 @@ class ProtocolTaxonomyRule(Rule):
                         node,
                     )
             stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# RL007 — public API surfaces carry docstrings
+# ---------------------------------------------------------------------------
+
+#: Top-level packages whose whole public surface is documented.
+_DOCSTRING_PACKAGES = ("core", "obs")
+
+#: Individual modules outside those packages held to the same bar.
+_DOCSTRING_MODULES = (
+    ("experiments", "registry.py"),
+    ("experiments", "runner.py"),
+)
+
+
+def _has_summary_line(node: ast.AST) -> bool:
+    """Whether ``node``'s docstring opens with a non-empty summary."""
+    doc = ast.get_docstring(node, clean=False)  # type: ignore[arg-type]
+    if not doc:
+        return False
+    first = doc.splitlines()[0].strip()
+    return bool(first)
+
+
+@rule
+class PublicDocstringRule(Rule):
+    """Public defs in the documented packages explain themselves."""
+
+    code = "RL007"
+    title = "public functions and classes need a one-line docstring summary"
+    rationale = (
+        "docs/ARCHITECTURE.md and docs/TRACE_SCHEMA.md point readers at "
+        "the code for detail; that only works if every public surface in "
+        "core/, obs/ and the experiment engine states its contract. A "
+        "docstring whose first line is empty renders as a blank summary "
+        "in help() and the generated docs."
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        parts = context.rel_parts
+        return _in_packages(context, _DOCSTRING_PACKAGES) or (
+            parts[:2] in _DOCSTRING_MODULES
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        # Module level and class level only: nested helpers are
+        # implementation detail, and dunder/underscore names are private
+        # by convention.
+        yield from self._check_body(context, context.tree.body, scope="")
+        for node in context.tree.body:
+            if isinstance(node, ast.ClassDef) and not node.name.startswith(
+                "_"
+            ):
+                yield from self._check_body(
+                    context, node.body, scope=f"{node.name}."
+                )
+
+    def _check_body(
+        self,
+        context: ModuleContext,
+        body: Sequence[ast.stmt],
+        scope: str,
+    ) -> Iterator[Finding]:
+        for node in body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if _has_summary_line(node):
+                continue
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            yield context.finding(
+                self.code,
+                f"public {kind} {scope}{node.name!r} has no docstring "
+                "summary; add one line stating its contract",
+                node,
+            )

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.capture import Instrumentation, current as obs_current
 from repro.util.validate import check_non_negative, check_positive
 
 if TYPE_CHECKING:
@@ -341,15 +342,35 @@ class FaultSchedule:
         on_up: Callable[[FaultEvent], None],
         horizon: float,
         start: Optional[float] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> List[FaultEvent]:
         """Schedule every effective transition as a network timer.
 
         ``network`` is a :class:`~repro.netsim.fluid.FluidNetwork`;
         ``start`` defaults to the network's current clock. Events whose
         time has already passed are dropped. Returns the armed events.
+        ``obs`` (default: the active capture, if any) records each fired
+        transition as a ``fault.transition`` event on the engine clock.
         """
         if start is None:
             start = network.time
+        if obs is None:
+            obs = obs_current()
+
+        def fire(
+            event: FaultEvent, callback: Callable[[FaultEvent], None]
+        ) -> None:
+            if obs is not None:
+                obs.event(
+                    "fault.transition",
+                    time=event.time,
+                    target=event.target,
+                    action=event.action,
+                    kind=event.kind,
+                )
+                obs.count("faults.transitions", action=event.action)
+            callback(event)
+
         armed: List[FaultEvent] = []
         for event in self.events(start, horizon):
             if event.time < network.time:
@@ -357,7 +378,7 @@ class FaultSchedule:
             callback = on_down if event.action == "down" else on_up
             network.schedule(
                 event.time - network.time,
-                (lambda ev=event, cb=callback: cb(ev)),
+                (lambda ev=event, cb=callback: fire(ev, cb)),
                 label=f"fault:{event.action}:{event.target}",
             )
             armed.append(event)

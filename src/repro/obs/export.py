@@ -1,0 +1,214 @@
+"""JSONL export, parsing, summarising and diffing of traces.
+
+An export is a list of compact JSON lines (sorted keys, no spaces):
+
+* line 1 — the **header**: ``type=header``, the schema version, the
+  experiment id/params the trace came from, and the tracer's
+  emitted/dropped counts (ring truncation is visible, never silent);
+* then one ``type=event`` line per retained event, in emission order;
+* then every metric, sorted by ``(type, key)``: ``type=counter`` /
+  ``gauge`` lines carry ``key`` and ``value``; ``type=histogram`` lines
+  carry ``boundaries``/``counts``/``sum``/``count``.
+
+Only deterministic material is exported — engine-clock timestamps and
+metric values. Wall-clock profiling (phase timings, worker occupancy)
+lives in :class:`~repro.experiments.runner.ExperimentOutcome` and is
+shown by ``repro-trace summary``, never embedded in the JSONL, so the
+acceptance property holds: the same experiment exports byte-identical
+lines on every run at every ``--jobs`` count.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.capture import Instrumentation
+from repro.obs.schema import SCHEMA_VERSION
+from repro.util.serialize import jsonable
+
+__all__ = [
+    "diff_lines",
+    "export_lines",
+    "parse_lines",
+    "summarize_lines",
+]
+
+
+def _dump(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def export_lines(
+    instrumentation: Instrumentation,
+    experiment_id: str = "",
+    params: Optional[Dict[str, Any]] = None,
+) -> List[str]:
+    """Serialise one capture to deterministic JSONL lines."""
+    tracer = instrumentation.tracer
+    lines = [
+        _dump(
+            {
+                "type": "header",
+                "schema": SCHEMA_VERSION,
+                "experiment": experiment_id,
+                "params": jsonable(params or {}),
+                "emitted": tracer.emitted,
+                "dropped": tracer.dropped,
+            }
+        )
+    ]
+    for event in tracer.events:
+        lines.append(
+            _dump(
+                {
+                    "type": "event",
+                    "seq": event.seq,
+                    "name": event.name,
+                    "time": event.time,
+                    "fields": dict(event.fields),
+                }
+            )
+        )
+    snapshot = instrumentation.metrics.snapshot()
+    for key, value in snapshot["counters"].items():
+        lines.append(
+            _dump({"type": "counter", "key": key, "value": value})
+        )
+    for key, value in snapshot["gauges"].items():
+        lines.append(_dump({"type": "gauge", "key": key, "value": value}))
+    for key, hist in snapshot["histograms"].items():
+        record = {"type": "histogram", "key": key}
+        record.update(hist)
+        lines.append(_dump(record))
+    return lines
+
+
+class TraceParseError(ValueError):
+    """A line of a trace file is not what the schema promises."""
+
+
+def parse_lines(lines: List[str]) -> Dict[str, Any]:
+    """Split exported lines into header / events / metrics.
+
+    Returns ``{"header": dict, "events": [dict], "counters": {key:
+    value}, "gauges": {...}, "histograms": {key: dict}}``. Raises
+    :class:`TraceParseError` on malformed input.
+    """
+    if not lines:
+        raise TraceParseError("empty trace")
+    records: List[Dict[str, Any]] = []
+    for index, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TraceParseError(
+                f"line {index} is not JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise TraceParseError(
+                f"line {index} has no 'type' field"
+            )
+        records.append(record)
+    if not records or records[0]["type"] != "header":
+        raise TraceParseError("first line must be the header")
+    parsed: Dict[str, Any] = {
+        "header": records[0],
+        "events": [],
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    for record in records[1:]:
+        kind = record["type"]
+        if kind == "event":
+            parsed["events"].append(record)
+        elif kind in ("counter", "gauge"):
+            parsed[kind + "s"][record["key"]] = record["value"]
+        elif kind == "histogram":
+            parsed["histograms"][record["key"]] = {
+                key: value
+                for key, value in record.items()
+                if key not in ("type", "key")
+            }
+        else:
+            raise TraceParseError(f"unknown record type {kind!r}")
+    return parsed
+
+
+# ---------------------------------------------------------------------------
+# Diff
+# ---------------------------------------------------------------------------
+
+
+def _diff_maps(
+    section: str, a: Dict[str, Any], b: Dict[str, Any], deltas: List[str]
+) -> None:
+    for key in sorted(set(a) | set(b)):
+        if key not in a:
+            deltas.append(f"{section} {key!r}: only in B ({b[key]!r})")
+        elif key not in b:
+            deltas.append(f"{section} {key!r}: only in A ({a[key]!r})")
+        elif a[key] != b[key]:
+            deltas.append(
+                f"{section} {key!r}: A={a[key]!r} B={b[key]!r}"
+            )
+
+
+def diff_lines(a_lines: List[str], b_lines: List[str]) -> List[str]:
+    """Structured deltas between two exports (empty list: identical).
+
+    Works at the record level, so cosmetic differences that cannot
+    occur in real exports (whitespace) do not mask real ones; two
+    byte-identical files always diff empty.
+    """
+    a = parse_lines(a_lines)
+    b = parse_lines(b_lines)
+    deltas: List[str] = []
+    _diff_maps("header", a["header"], b["header"], deltas)
+    if len(a["events"]) != len(b["events"]):
+        deltas.append(
+            f"event count: A={len(a['events'])} B={len(b['events'])}"
+        )
+    for ev_a, ev_b in zip(a["events"], b["events"]):
+        if ev_a != ev_b:
+            deltas.append(
+                f"event seq {ev_a.get('seq')}: "
+                f"A={_dump(ev_a)} B={_dump(ev_b)}"
+            )
+            break  # first divergence is the actionable one
+    _diff_maps("counter", a["counters"], b["counters"], deltas)
+    _diff_maps("gauge", a["gauges"], b["gauges"], deltas)
+    _diff_maps("histogram", a["histograms"], b["histograms"], deltas)
+    return deltas
+
+
+# ---------------------------------------------------------------------------
+# Summary
+# ---------------------------------------------------------------------------
+
+
+def summarize_lines(lines: List[str]) -> Dict[str, Any]:
+    """Aggregate one export for human display (``repro-trace summary``)."""
+    parsed = parse_lines(lines)
+    events = parsed["events"]
+    by_name: Dict[str, int] = {}
+    times: List[float] = []
+    for event in events:
+        by_name[event["name"]] = by_name.get(event["name"], 0) + 1
+        if event.get("time") is not None:
+            times.append(float(event["time"]))
+    span: Optional[Tuple[float, float]] = (
+        (min(times), max(times)) if times else None
+    )
+    return {
+        "header": parsed["header"],
+        "event_count": len(events),
+        "events_by_name": dict(sorted(by_name.items())),
+        "time_span": span,
+        "counters": parsed["counters"],
+        "gauges": parsed["gauges"],
+        "histograms": parsed["histograms"],
+    }

@@ -1,0 +1,204 @@
+"""Counters, gauges and fixed-bucket histograms with deterministic snapshots.
+
+The registry is keyed by ``(name, sorted label items)``. Histogram
+bucket boundaries are fixed at creation (the schema's
+:data:`~repro.obs.schema.DURATION_BUCKETS_S` by default) — never
+derived from the data — so the snapshot of a deterministic run is
+itself deterministic.
+
+Thread-safety: metric creation and every update take a lock, because
+the threaded proto layer (proxy/client worker threads) shares one
+registry. The cost is irrelevant to the off-by-default guarantee — an
+un-instrumented run never reaches this module (see
+``benchmarks/test_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.schema import DURATION_BUCKETS_S
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters never go down)."""
+        if amount < 0.0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary bucketed distribution.
+
+    ``boundaries`` are the inclusive upper bounds of the first
+    ``len(boundaries)`` buckets; one implicit overflow bucket catches
+    everything larger. An observation lands in the first bucket whose
+    bound is >= the value.
+    """
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("need at least one bucket boundary")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"boundaries must strictly increase: {bounds}")
+        self.boundaries = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect.bisect_left(self.boundaries, float(value))
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += float(value)
+            self.count += 1
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str, _LabelItems], _Metric] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _label_items(labels: Dict[str, Any]) -> _LabelItems:
+        return tuple(
+            sorted((key, str(value)) for key, value in labels.items())
+        )
+
+    def _get(
+        self, kind: str, name: str, labels: Dict[str, Any]
+    ) -> Optional[_Metric]:
+        return self._metrics.get((kind, name, self._label_items(labels)))
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        key = ("counter", name, self._label_items(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Counter()
+                self._metrics[key] = metric
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        key = ("gauge", name, self._label_items(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Gauge()
+                self._metrics[key] = metric
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DURATION_BUCKETS_S,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        key = ("histogram", name, self._label_items(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Histogram(boundaries)
+                self._metrics[key] = metric
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0.0 when never touched)."""
+        metric = self._get("counter", name, labels)
+        return metric.value if isinstance(metric, Counter) else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across every label combination."""
+        total = 0.0
+        for (kind, metric_name, _), metric in self._metrics.items():
+            if kind == "counter" and metric_name == name:
+                assert isinstance(metric, Counter)
+                total += metric.value
+        return total
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready dump of every metric.
+
+        Keys are sorted ``name{label=value,...}`` strings; the shape is
+        stable under :data:`~repro.obs.schema.SCHEMA_VERSION`.
+        """
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            items = list(self._metrics.items())
+        for (kind, name, label_items), metric in items:
+            key = _flat_key(name, label_items)
+            if kind == "counter":
+                assert isinstance(metric, Counter)
+                counters[key] = metric.value
+            elif kind == "gauge":
+                assert isinstance(metric, Gauge)
+                gauges[key] = metric.value
+            else:
+                assert isinstance(metric, Histogram)
+                histograms[key] = {
+                    "boundaries": list(metric.boundaries),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+def _flat_key(name: str, label_items: _LabelItems) -> str:
+    if not label_items:
+        return name
+    rendered: List[str] = [
+        f"{key}={value}" for key, value in label_items
+    ]
+    return name + "{" + ",".join(rendered) + "}"

@@ -1,0 +1,277 @@
+"""The trace/metric schema: the stable contract of the obs layer.
+
+Every event an :class:`~repro.obs.capture.Instrumentation` may emit and
+every metric it may touch is declared here, with its fields/labels and
+units. ``docs/TRACE_SCHEMA.md`` embeds the tables
+:func:`markdown_tables` renders from these catalogues, and a tier-1
+test regenerates them so the document cannot drift from the code.
+
+Versioning policy (documented in ``docs/TRACE_SCHEMA.md``):
+
+* **adding** an event, metric, field or label is backward compatible
+  and does *not* bump :data:`SCHEMA_VERSION`;
+* **renaming or removing** any name, field or label, changing a unit,
+  or changing histogram bucket boundaries **must** bump it — consumers
+  key off the header's ``schema`` field.
+
+Units follow :mod:`repro.util.units`: byte quantities end in
+``_bytes`` (or carry a ``bytes`` unit), rates are bits/second, and
+durations are seconds with an ``_s`` suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = [
+    "DURATION_BUCKETS_S",
+    "EVENTS",
+    "METRICS",
+    "SCHEMA_VERSION",
+    "markdown_tables",
+]
+
+#: Version stamped into every export header. Bump on any breaking
+#: change to the catalogues below (rename/removal/unit change).
+SCHEMA_VERSION = 1
+
+#: Fixed bucket upper bounds (seconds) shared by every duration
+#: histogram. Fixed — never derived from the data — so two runs of the
+#: same workload produce identical snapshots.
+DURATION_BUCKETS_S: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Every trace event: name -> {field: description (with unit)}.
+#: All timestamps are the **engine clock** (simulation seconds); events
+#: from un-clocked call sites (e.g. ``permit.revoke``) carry ``null``.
+EVENTS: Dict[str, Dict[str, str]] = {
+    "txn.begin": {
+        "transaction": "transaction name",
+        "policy": "scheduling policy (GRD/RR/MIN/DLN)",
+        "items": "item count",
+        "payload_bytes": "total payload, bytes",
+    },
+    "txn.end": {
+        "transaction": "transaction name",
+        "policy": "scheduling policy",
+        "wasted_bytes": "duplicate + fault waste, bytes",
+        "payload_bytes": "total payload, bytes",
+    },
+    "copy.start": {
+        "path": "path name",
+        "item": "item label",
+        "size_bytes": "item size, bytes",
+        "duplicate": "true for an endgame/urgency re-transfer",
+    },
+    "copy.abort": {
+        "path": "path name",
+        "item": "item label",
+        "transferred_bytes": "bytes moved before the abort",
+        "cause": "'duplicate' (lost the race) or 'fault' (path/stall)",
+    },
+    "copy.waste": {
+        "path": "path name",
+        "item": "item label",
+        "transferred_bytes": "bytes counted as waste",
+        "cause": "'duplicate' or 'fault'",
+    },
+    "item.complete": {
+        "path": "winning path name",
+        "item": "item label",
+        "copies": "copies ever started for the item",
+        "elapsed_s": "first-scheduling to completion, seconds",
+        "queue_s": "transaction start to first scheduling, seconds",
+    },
+    "degradation": {
+        "kind": "DegradationEvent kind (path-fault, stall, ...)",
+        "path": "path name (may be empty)",
+        "item": "item label (may be empty)",
+    },
+    "retry.scheduled": {
+        "path": "path the fault hit",
+        "item": "orphaned item label",
+        "attempt": "1-based fault count for the item",
+        "delay_s": "backoff before the re-queue, seconds",
+    },
+    "permit.grant": {
+        "device": "device name",
+        "cell": "cell name",
+        "expires_at": "permit expiry, engine seconds",
+    },
+    "permit.deny": {
+        "device": "device name",
+        "cell": "cell name",
+        "utilization": "cell utilisation fraction that denied it",
+    },
+    "permit.revoke": {
+        "device": "device name (time is null: revoke has no clock)",
+    },
+    "fault.transition": {
+        "target": "path/device the fault process drives",
+        "action": "'down' or 'up'",
+        "kind": "fault process kind (path-flap, radio-drop, ...)",
+    },
+}
+
+#: Every metric: name -> {type, labels, unit, help}.
+METRICS: Dict[str, Dict[str, object]] = {
+    "runner.transactions": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "transactions started",
+    },
+    "runner.copies": {
+        "type": "counter", "labels": ("path",), "unit": "count",
+        "help": "copies dispatched per path (utilisation numerator)",
+    },
+    "runner.items_completed": {
+        "type": "counter", "labels": ("path",), "unit": "count",
+        "help": "winning copies per path",
+    },
+    "runner.bytes_completed": {
+        "type": "counter", "labels": ("path",), "unit": "bytes",
+        "help": "payload bytes delivered per path",
+    },
+    "runner.waste_bytes": {
+        "type": "counter", "labels": ("cause",), "unit": "bytes",
+        "help": "non-winning transfer bytes; cause=duplicate is the "
+                "(N-1)*S_max-bounded endgame waste, cause=fault is "
+                "churn loss",
+    },
+    "runner.degradations": {
+        "type": "counter", "labels": ("kind",), "unit": "count",
+        "help": "DegradationEvents recorded (stall kind = watchdog fires)",
+    },
+    "runner.retries": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "fault recoveries scheduled (with or without backoff)",
+    },
+    "runner.active_paths": {
+        "type": "gauge", "labels": (), "unit": "count",
+        "help": "paths currently accepting work",
+    },
+    "runner.item_elapsed_s": {
+        "type": "histogram", "labels": (), "unit": "seconds",
+        "help": "first-scheduling to completion per item",
+    },
+    "runner.item_queue_s": {
+        "type": "histogram", "labels": (), "unit": "seconds",
+        "help": "transaction start to first scheduling per item",
+    },
+    "runner.copy_abort_age_s": {
+        "type": "histogram", "labels": (), "unit": "seconds",
+        "help": "age of a copy when aborted",
+    },
+    "scheduler.endgame_duplicates": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "GRD/DLN endgame re-transfers issued",
+    },
+    "scheduler.urgent_duplicates": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "DLN urgency pre-emption re-transfers issued",
+    },
+    "scheduler.requeues": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "items re-queued after a path failure",
+    },
+    "scheduler.redealt_items": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "RR items re-dealt on membership change",
+    },
+    "scheduler.orphaned_items": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "items parked in a blackout orphan pool",
+    },
+    "scheduler.committed_items": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "MIN items committed to per-path queues by estimate",
+    },
+    "scheduler.estimate_updates": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "MIN EWMA bandwidth samples absorbed",
+    },
+    "permits.granted": {
+        "type": "counter", "labels": (), "unit": "count",
+        "help": "permits granted by the backend",
+    },
+    "permits.denied": {
+        "type": "counter", "labels": (), "unit": "count",
+        "help": "permit requests denied (cell over threshold)",
+    },
+    "permits.revoked": {
+        "type": "counter", "labels": (), "unit": "count",
+        "help": "permits revoked (congestion detected)",
+    },
+    "cap.metered_bytes": {
+        "type": "counter", "labels": ("device",), "unit": "bytes",
+        "help": "3GOL bytes metered into a device's CapTracker",
+    },
+    "cap.available_bytes": {
+        "type": "gauge", "labels": ("device",), "unit": "bytes",
+        "help": "A(t): remaining daily quota after the last metering",
+    },
+    "cap.exhaustions": {
+        "type": "counter", "labels": ("device",), "unit": "count",
+        "help": "cap-exhaustion drains triggered by the TransferGuard",
+    },
+    "faults.transitions": {
+        "type": "counter", "labels": ("action",), "unit": "count",
+        "help": "armed fault-schedule transitions fired",
+    },
+    "proto.degradations": {
+        "type": "counter", "labels": ("kind",), "unit": "count",
+        "help": "DegradationLog entries from the threaded proto layer",
+    },
+    "proxy.bytes": {
+        "type": "counter", "labels": ("direction",), "unit": "bytes",
+        "help": "bytes the MobileProxy relayed (direction=up/down)",
+    },
+    "client.copies": {
+        "type": "counter", "labels": ("path",), "unit": "count",
+        "help": "PrototypeClient copies dispatched per endpoint",
+    },
+    "client.items_completed": {
+        "type": "counter", "labels": ("path",), "unit": "count",
+        "help": "PrototypeClient winning copies per endpoint",
+    },
+    "client.waste_bytes": {
+        "type": "counter", "labels": (), "unit": "bytes",
+        "help": "PrototypeClient bytes moved by losing copies",
+    },
+}
+
+
+def markdown_tables() -> str:
+    """Render the catalogues as the markdown embedded in TRACE_SCHEMA.md."""
+    lines: List[str] = []
+    lines.append("### Events")
+    lines.append("")
+    lines.append("| event | field | meaning |")
+    lines.append("|---|---|---|")
+    for name in sorted(EVENTS):
+        fields: Mapping[str, str] = EVENTS[name]
+        first = True
+        for field_name in fields:
+            label = f"`{name}`" if first else ""
+            lines.append(
+                f"| {label} | `{field_name}` | {fields[field_name]} |"
+            )
+            first = False
+    lines.append("")
+    lines.append("### Metrics")
+    lines.append("")
+    lines.append("| metric | type | labels | unit | meaning |")
+    lines.append("|---|---|---|---|---|")
+    for name in sorted(METRICS):
+        spec = METRICS[name]
+        labels = ", ".join(f"`{label}`" for label in spec["labels"])  # type: ignore[union-attr]
+        lines.append(
+            f"| `{name}` | {spec['type']} | {labels or '—'} "
+            f"| {spec['unit']} | {spec['help']} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - doc generation helper
+    print(markdown_tables())

@@ -32,6 +32,7 @@ from repro.core.resilience import DegradationLog
 from repro.core.scheduler.base import PathWorker, SchedulingPolicy
 from repro.netsim.link import Link
 from repro.netsim.path import NetworkPath
+from repro.obs.capture import Instrumentation, current as obs_current
 from repro.proto import httpwire
 from repro.proto.errors import StallError
 
@@ -155,6 +156,7 @@ class PrototypeClient:
         endpoints: Sequence[Tuple[str, Tuple[str, int]]],
         recv_timeout: float = httpwire.DEFAULT_RECV_TIMEOUT,
         degradation_log: Optional[DegradationLog] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if not endpoints:
             raise ValueError("need at least one endpoint")
@@ -163,6 +165,9 @@ class PrototypeClient:
         self.degradations = (
             degradation_log if degradation_log is not None else DegradationLog()
         )
+        #: Instrumentation handle; worker threads only touch locked
+        #: metric counters (never the tracer) through it.
+        self._obs = obs if obs is not None else obs_current()
         self.endpoints = [
             _Endpoint(name, addr, recv_timeout=recv_timeout)
             for name, addr in endpoints
@@ -298,6 +303,8 @@ class PrototypeClient:
                     scheduled_at.setdefault(item.label, now())
                     copies_inflight.setdefault(item.label, []).append(index)
                     copy_counts[item.label] = copy_counts.get(item.label, 0) + 1
+                    if self._obs is not None:
+                        self._obs.count("client.copies", path=endpoint.name)
                     endpoint.cancel.clear()
                 try:
                     size = self._transfer_one(
@@ -327,7 +334,15 @@ class PrototypeClient:
                     policy.on_item_complete(worker, item, duration, now())
                     if item.label in completed:
                         wasted += size
+                        if self._obs is not None:
+                            self._obs.count(
+                                "client.waste_bytes", amount=float(size)
+                            )
                     else:
+                        if self._obs is not None:
+                            self._obs.count(
+                                "client.items_completed", path=endpoint.name
+                            )
                         completed[item.label] = ItemTiming(
                             label=item.label,
                             path_name=endpoint.name,

@@ -24,6 +24,7 @@ import time
 from typing import Optional, Tuple
 
 from repro.core.resilience import DegradationLog
+from repro.obs.capture import Instrumentation, current as obs_current
 from repro.proto import httpwire
 from repro.proto.errors import StallError, WireError
 from repro.proto.shaping import TokenBucket, shaped_send
@@ -41,6 +42,7 @@ class MobileProxy:
         recv_timeout: float = httpwire.DEFAULT_RECV_TIMEOUT,
         idle_timeout: float = httpwire.DEFAULT_IDLE_TIMEOUT,
         degradation_log: Optional[DegradationLog] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.origin_address = origin_address
         self.down_bucket = down_bucket
@@ -59,6 +61,9 @@ class MobileProxy:
         self.bytes_down = 0
         self.bytes_up = 0
         self._counters_lock = threading.Lock()
+        #: Instrumentation handle; worker threads only touch locked
+        #: metric counters (never the tracer) through it.
+        self._obs = obs if obs is not None else obs_current()
         self._started_at = time.monotonic()
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -160,6 +165,12 @@ class MobileProxy:
                     shaped_send(upstream, head + body, self.up_bucket)
                     with self._counters_lock:
                         self.bytes_up += len(body)
+                    if self._obs is not None:
+                        self._obs.count(
+                            "proxy.bytes",
+                            amount=float(len(body)),
+                            direction="up",
+                        )
                     status, resp_headers, resp_body = httpwire.read_response(
                         upstream, timeout=self.recv_timeout
                     )
@@ -179,6 +190,12 @@ class MobileProxy:
                 # accounting would race observers of the counters.
                 with self._counters_lock:
                     self.bytes_down += len(resp_body)
+                if self._obs is not None:
+                    self._obs.count(
+                        "proxy.bytes",
+                        amount=float(len(resp_body)),
+                        direction="down",
+                    )
                 shaped_send(client, response, self.down_bucket)
         except OSError:
             # The LAN client vanished mid-exchange; nothing to answer.

@@ -1,0 +1,86 @@
+"""Docs stay truthful: links resolve, schema tables don't drift."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import schema
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose intra-repo links must resolve.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+#: ``[text](target)`` links, excluding images (negative lookbehind).
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _intra_repo_links(path):
+    """Every relative link target in ``path``, with anchors stripped."""
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if target:  # pure-anchor links point within the same file
+            yield target
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[p.name for p in DOC_FILES]
+)
+def test_intra_repo_links_resolve(doc):
+    broken = [
+        target
+        for target in _intra_repo_links(doc)
+        if not (doc.parent / target).resolve().exists()
+    ]
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+class TestTraceSchemaDoc:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return (REPO_ROOT / "docs" / "TRACE_SCHEMA.md").read_text(
+            encoding="utf-8"
+        )
+
+    def test_tables_match_generated(self, doc):
+        """The embedded catalogue is byte-for-byte the generated one."""
+        assert schema.markdown_tables().strip() in doc
+
+    def test_every_event_documented(self, doc):
+        for name in schema.EVENTS:
+            assert f"`{name}`" in doc, f"event {name} missing"
+
+    def test_every_metric_documented(self, doc):
+        for name in schema.METRICS:
+            assert f"`{name}`" in doc, f"metric {name} missing"
+
+    def test_states_current_schema_version(self, doc):
+        assert f"**{schema.SCHEMA_VERSION}**" in doc
+
+
+class TestArchitectureDoc:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+
+    def test_covers_every_package(self, doc):
+        packages = sorted(
+            child.name
+            for child in (REPO_ROOT / "src" / "repro").iterdir()
+            if child.is_dir() and (child / "__init__.py").exists()
+        )
+        missing = [name for name in packages if f"{name}/" not in doc]
+        assert not missing, f"packages undocumented: {missing}"
+
+    def test_names_the_four_policies(self, doc):
+        for policy in ("GRD", "RR", "MIN", "DLN"):
+            assert policy in doc

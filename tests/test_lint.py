@@ -51,9 +51,9 @@ def codes_of(findings):
 
 
 class TestRegistry:
-    def test_six_rules_registered_in_order(self):
+    def test_rules_registered_in_order(self):
         assert [r.code for r in all_rules()] == [
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
         ]
 
     def test_every_rule_has_title_and_rationale(self):
@@ -80,7 +80,7 @@ class TestRegistry:
     def test_ignore_drops(self):
         remaining = [r.code for r in select_rules(ignore=["RL003"])]
         assert "RL003" not in remaining
-        assert len(remaining) == 5
+        assert len(remaining) == len(all_rules()) - 1
 
 
 class TestEngine:
@@ -97,6 +97,7 @@ class TestEngine:
             import time
 
             def f(eta):
+                \"\"\"Sample.\"\"\"
                 if eta == 1.0:
                     return time.time()
             """,
@@ -561,6 +562,75 @@ class TestProtocolTaxonomyRule:
             "    raise StopIteration  # repro-lint: disable=RL006\n"
         )
         assert lint(src, "repro/proto/x.py", codes=["RL006"]) == []
+
+
+class TestPublicDocstringRule:
+    def test_undocumented_public_function_flagged(self):
+        src = "def frobnicate(x):\n    return x\n"
+        findings = lint(src, "repro/core/x.py", codes=["RL007"])
+        assert codes_of(findings) == ["RL007"]
+        assert "frobnicate" in findings[0].message
+
+    def test_undocumented_public_class_and_method_flagged(self):
+        src = """\
+            class Widget:
+                def spin(self):
+                    return 1
+            """
+        findings = lint(src, "repro/obs/x.py", codes=["RL007"])
+        assert codes_of(findings) == ["RL007", "RL007"]
+        assert "Widget" in findings[0].message
+        assert "spin" in findings[1].message
+
+    def test_documented_surface_is_clean(self):
+        src = '''\
+            class Widget:
+                """A widget."""
+
+                def spin(self):
+                    """Spin it."""
+                    return 1
+
+
+            def frobnicate(x):
+                """Frobnicate ``x``."""
+                return x
+            '''
+        assert lint(src, "repro/core/x.py", codes=["RL007"]) == []
+
+    def test_blank_first_line_docstring_flagged(self):
+        src = 'def f(x):\n    """\n    late summary\n    """\n    return x\n'
+        assert codes_of(lint(src, "repro/core/x.py", codes=["RL007"])) == [
+            "RL007"
+        ]
+
+    def test_private_names_and_nested_defs_skipped(self):
+        src = """\
+            def _helper(x):
+                return x
+
+            def outer():
+                \"\"\"Documented.\"\"\"
+                def inner():
+                    return 1
+                return inner
+            """
+        assert lint(src, "repro/core/x.py", codes=["RL007"]) == []
+
+    def test_scope_covers_experiment_engine_only(self):
+        src = "def frobnicate(x):\n    return x\n"
+        flagged = lint(src, "repro/experiments/runner.py", codes=["RL007"])
+        assert codes_of(flagged) == ["RL007"]
+        # Other experiments modules (and e.g. netsim) are out of scope.
+        assert lint(src, "repro/experiments/fig99.py", codes=["RL007"]) == []
+        assert lint(src, "repro/netsim/x.py", codes=["RL007"]) == []
+
+    def test_suppression_comment_silences(self):
+        src = (
+            "def frobnicate(x):  # repro-lint: disable=RL007\n"
+            "    return x\n"
+        )
+        assert lint(src, "repro/core/x.py", codes=["RL007"]) == []
 
 
 # ---------------------------------------------------------------------------
