@@ -1,0 +1,141 @@
+"""``repro-bench``: measure, update, and gate the BENCH baselines.
+
+::
+
+    repro-bench                      # measure and print, change nothing
+    repro-bench --update             # rewrite BENCH_*.json from fresh runs
+    repro-bench --check              # CI gate: fail on >25% regression
+    repro-bench --check fig06        # gate a subset
+    repro-bench --repeats 5          # more samples per benchmark
+
+Records live at the repository root (``--dir`` overrides, mainly for
+tests). See ``docs/PERFORMANCE.md`` for the schema and the refresh
+procedure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.bench.harness import (
+    BENCH_FILENAMES,
+    BENCHMARKS,
+    DEFAULT_REPEATS,
+    REGRESSION_THRESHOLD,
+    check_records,
+    load_record,
+    measure_benchmark,
+)
+
+
+def _default_dir() -> Path:
+    """Repo root when run from a checkout, else the working directory."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent
+    return Path.cwd()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Measure the repo's committed performance baselines.",
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help=f"subset to run (default: all of {', '.join(sorted(BENCHMARKS))})",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the BENCH_*.json records from this run",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "compare against the committed records and exit non-zero on "
+            f">{REGRESSION_THRESHOLD * 100:.0f}% normalized regression"
+        ),
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help=f"samples per benchmark (default: {DEFAULT_REPEATS})",
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        help="directory holding BENCH_*.json (default: repo root)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(args.benchmarks) or sorted(BENCHMARKS)
+    unknown = [name for name in names if name not in BENCHMARKS]
+    if unknown:
+        print(
+            f"unknown benchmark {unknown[0]!r}; available: "
+            + ", ".join(sorted(BENCHMARKS)),
+            file=sys.stderr,
+        )
+        return 2
+    root = args.dir if args.dir is not None else _default_dir()
+
+    fresh: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        record = measure_benchmark(name, repeats=args.repeats)
+        fresh[name] = record
+        run = record["run_s"]
+        print(
+            f"{name:<14} median {run['median']:.3f}s  min {run['min']:.3f}s"
+            f"  normalized {record['normalized']:.2f}"
+        )
+
+    if args.update:
+        for name, record in fresh.items():
+            path = root / BENCH_FILENAMES[name]
+            existing = _existing_record(path)
+            if existing is not None and "baseline" in existing:
+                # Provenance notes survive refreshes.
+                record = {**record, "baseline": existing["baseline"]}
+            path.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {path}")
+
+    if args.check:
+        committed: Dict[str, Dict[str, Any]] = {}
+        for name in names:
+            path = root / BENCH_FILENAMES[name]
+            if path.exists():
+                committed[name] = load_record(path)
+        failures = check_records(fresh, committed)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"bench gate passed ({len(names)} benchmarks)")
+    return 0
+
+
+def _existing_record(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        return load_record(path)
+    except (OSError, ValueError):
+        return None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -139,7 +139,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     f"[{outcome.experiment_id}] FAILED\n{outcome.error}",
                     file=sys.stderr,
                 )
+    if args.profile:
+        print(_profile_table(outcomes))
     return 0 if all(outcome.ok for outcome in outcomes) else 1
+
+
+#: Phase keys of :attr:`ExperimentOutcome.profile`, in display order.
+_PROFILE_PHASES = ("run_s", "render_s", "serialize_s")
+
+
+def _profile_table(outcomes: Iterable[runner.ExperimentOutcome]) -> str:
+    """Per-phase wall-clock table for ``repro run --profile``.
+
+    Cached outcomes carry no fresh timings and show dashes — re-run with
+    ``--no-cache`` to profile them.
+    """
+    rows = []
+    for outcome in outcomes:
+        profile = outcome.profile or {}
+        cells = [
+            f"{profile[phase]:8.3f}" if phase in profile else f"{'-':>8}"
+            for phase in _PROFILE_PHASES
+        ]
+        total = sum(profile.get(phase, 0.0) for phase in _PROFILE_PHASES)
+        cells.append(f"{total:8.3f}" if profile else f"{'-':>8}")
+        rows.append((outcome.experiment_id, outcome.status, cells))
+    width = max([len(r[0]) for r in rows] + [len("experiment")])
+    header = (
+        f"{'experiment':<{width}}  {'status':<7}"
+        + "".join(f"  {name:>8}" for name in (*_PROFILE_PHASES, "total_s"))
+    )
+    lines = ["", "Phase timings (wall-clock seconds):", header]
+    for experiment_id, status, cells in rows:
+        lines.append(
+            f"{experiment_id:<{width}}  {status:<7}"
+            + "".join(f"  {cell}" for cell in cells)
+        )
+    return "\n".join(lines)
 
 
 def _print_locations(
@@ -244,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override repetitions (experiments accepting it)",
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-clock table after the results",
     )
     run_parser.set_defaults(func=_cmd_run)
 

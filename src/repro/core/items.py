@@ -53,6 +53,11 @@ class Transaction:
 
     _ids = itertools.count(1)
 
+    @classmethod
+    def _reset_ids(cls) -> None:
+        """Restart the id stream (per-experiment isolation; see runner)."""
+        cls._ids = itertools.count(1)
+
     def __init__(
         self,
         items: Sequence[TransferItem],

@@ -562,7 +562,7 @@ class TransactionRunner:
 
         if delay > 0.0:
             self._requeue_pending.add(item.label)
-            self.network.schedule(
+            self.network.engine.schedule_in(
                 delay, requeue, label=f"requeue:{item.label}"
             )
         else:
@@ -598,7 +598,12 @@ class TransactionRunner:
             self._recover_item(worker, item)
             self._dispatch_idle()
 
-        self.network.schedule(timeout, check, label=f"watchdog:{flow.label}")
+        # Scheduled directly on the engine. Deliberately NOT cancelled when
+        # the flow settles early: a due (no-op) watchdog is still a step
+        # boundary, and the golden traces pin the step sequence.
+        self.network.engine.schedule_in(
+            timeout, check, label=f"watchdog:{flow.label}"
+        )
 
     # ------------------------------------------------------------------
     # Entry point

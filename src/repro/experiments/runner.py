@@ -99,8 +99,10 @@ class ExperimentOutcome:
     #: under ``trace=True``; ``None`` otherwise. Deliberately *not* part
     #: of :meth:`to_dict` — the ``repro run --json`` contract is stable.
     trace_lines: Optional[List[str]] = None
-    #: Wall-clock phase timings (``run_s``, ``render_s``) of a fresh
-    #: run. Nondeterministic, so also excluded from :meth:`to_dict`.
+    #: Wall-clock phase timings (``run_s``, ``render_s``,
+    #: ``serialize_s``) of a fresh run, surfaced by ``repro run
+    #: --profile`` and the bench CLI. Nondeterministic, so also excluded
+    #: from :meth:`to_dict`.
     profile: Optional[Dict[str, float]] = None
 
     @property
@@ -178,6 +180,23 @@ class ResultCache:
             tmp.replace(path)
 
 
+def _reset_entity_ids() -> None:
+    """Restart the process-global entity id streams.
+
+    Transaction/flow/device ids leak into trace exports (``txn-N`` is a
+    trace field), so an experiment's bytes must not depend on what else
+    ran earlier in this process: every execution starts its id streams
+    at 1, exactly like a fresh interpreter.
+    """
+    from repro.core.items import Transaction
+    from repro.netsim.cellular import CellularDevice
+    from repro.netsim.fluid import Flow
+
+    Transaction._reset_ids()
+    Flow._reset_ids()
+    CellularDevice._reset_ids()
+
+
 def _execute(
     experiment_id: str, params: Dict[str, Any], trace: bool = False
 ) -> Dict[str, Any]:
@@ -190,6 +209,7 @@ def _execute(
     serial ones.
     """
     spec = registry.get(experiment_id)
+    _reset_entity_ids()
     started = time.perf_counter()
     if trace:
         with capture() as instrumentation:
@@ -203,6 +223,7 @@ def _execute(
     ran = time.perf_counter()
     rendered = result.render()
     payload = result.to_dict()
+    rendered_at = time.perf_counter()
     # Fail here, inside the isolation boundary, if a result's payload is
     # not actually JSON-serializable.
     json.dumps(payload)
@@ -213,7 +234,8 @@ def _execute(
         "elapsed_s": ran - started,
         "profile": {
             "run_s": ran - started,
-            "render_s": finished - ran,
+            "render_s": rendered_at - ran,
+            "serialize_s": finished - rendered_at,
         },
     }
     if trace_export is not None:

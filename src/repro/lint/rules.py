@@ -68,7 +68,16 @@ def _in_packages(
 # ---------------------------------------------------------------------------
 
 #: Packages whose code feeds simulated results and must be replayable.
-_DETERMINISM_PACKAGES = ("core", "netsim", "traces", "pilot", "experiments")
+_DETERMINISM_PACKAGES = (
+    "core",
+    "netsim",
+    "traces",
+    "pilot",
+    "experiments",
+    # bench measures wall-clock on purpose — but only via perf_counter,
+    # which RL001 permits; time.time()/random.* are still banned there.
+    "bench",
+)
 
 #: ``datetime``-ish attributes that read the wall clock.
 _WALL_CLOCK_ATTRS = frozenset({"now", "utcnow", "today"})

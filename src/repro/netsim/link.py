@@ -120,11 +120,23 @@ class StochasticLink(Link):
         self.modulation_interval = check_non_negative(
             "modulation_interval", modulation_interval
         )
+        # Single-slot memo keyed on the exact query time: within one
+        # simulation step every consumer (allocator, chain estimators)
+        # asks at the same clock value. NaN never compares equal, so the
+        # slot starts invalid.
+        self._memo_time = math.nan
+        self._memo_capacity = 0.0
 
     def capacity_at(self, time: float) -> float:
+        # Exact == is the point: the memo is keyed on the precise clock
+        # value consumers share within a step, not a tolerance window.
+        if time == self._memo_time:  # repro-lint: disable=RL005
+            return self._memo_capacity
         capacity = self.base_bps * self.process.factor_at(time)
         if self.modulation is not None:
             capacity *= max(0.0, float(self.modulation(time)))
+        self._memo_time = time
+        self._memo_capacity = capacity
         return capacity
 
     def next_change_after(self, time: float) -> float:

@@ -243,3 +243,153 @@ class TestCompletionEpsilon:
         )
         net.run()
         assert len(done) == 1
+
+
+class TestStepDrainedReturn:
+    def test_final_completing_step_returns_false(self):
+        # Regression: the step that finishes the last flow (with no timers
+        # left) must report "drained" instead of demanding one extra call.
+        net = FluidNetwork()
+        net.add_flow(make_flow(1 * MB, [Link("l", mbps(8))]))
+        results = []
+        for _ in range(10):
+            alive = net.step()
+            results.append(alive)
+            if not alive:
+                break
+        assert results[-1] is False
+        assert not net.active_flows
+        assert net.time == pytest.approx(1.0)
+
+    def test_drained_step_advances_to_max_time(self):
+        # step() moves the clock to the bound even when idle (unlike
+        # run(), which leaves the clock for advance_to to handle).
+        net = FluidNetwork()
+        assert net.step(max_time=5.0) is False
+        assert net.time == 5.0
+        assert net.step() is False  # unbounded + drained: no progress
+        assert net.time == 5.0
+
+    def test_run_leaves_clock_when_drained(self):
+        net = FluidNetwork()
+        assert net.run(until=7.0) == 0.0
+        assert net.advance_to(7.0) == 7.0
+
+
+class TestIncrementalAllocatorEquivalence:
+    """The stepper's incremental/vectorized allocator vs the reference."""
+
+    def _topology(self, rng, n_flows):
+        from repro.util.units import kbps
+
+        links = [
+            Link(f"shared-{j}", mbps(1.0 + 3.0 * rng.random()))
+            for j in range(rng.randint(1, 4))
+        ]
+        flows = []
+        for i in range(n_flows):
+            chain = [Link(f"acc-{i}", mbps(0.3 + 2.0 * rng.random()))]
+            chain.extend(rng.sample(links, rng.randint(0, len(links))))
+            cap = kbps(100.0 + 900.0 * rng.random()) if rng.random() < 0.4 else None
+            flows.append(make_flow(1e6, chain, rate_cap_bps=cap))
+        return flows
+
+    @pytest.mark.parametrize("vector_min", [2, 10**9])
+    def test_matches_reference_exactly(self, vector_min, monkeypatch):
+        import random
+
+        import repro.netsim.fluid as fluid_mod
+
+        monkeypatch.setattr(fluid_mod, "VECTOR_MIN_ALLOC_FLOWS", vector_min)
+        rng = random.Random(20260807)
+        for trial in range(25):
+            net = FluidNetwork()
+            flows = self._topology(rng, rng.randint(1, 12))
+            for flow in flows:
+                net.add_flow(flow)
+            net._recompute_rates()
+            reference = max_min_allocation(list(net.active_flows), net.time)
+            for flow in net.active_flows:
+                assert flow.current_rate_bps == reference[flow], (
+                    f"trial {trial}: {flow} incremental "
+                    f"{flow.current_rate_bps!r} != reference "
+                    f"{reference[flow]!r}"
+                )
+
+    @pytest.mark.parametrize("vector_min", [2, 10**9])
+    def test_equivalence_holds_across_membership_churn(
+        self, vector_min, monkeypatch
+    ):
+        import random
+
+        import repro.netsim.fluid as fluid_mod
+
+        monkeypatch.setattr(fluid_mod, "VECTOR_MIN_ALLOC_FLOWS", vector_min)
+        rng = random.Random(97)
+        net = FluidNetwork()
+        flows = self._topology(rng, 10)
+        for flow in flows:
+            net.add_flow(flow)
+        for victim in (flows[3], flows[7]):
+            net.abort_flow(victim)
+            net._recompute_rates()
+            reference = max_min_allocation(list(net.active_flows), net.time)
+            for flow in net.active_flows:
+                assert flow.current_rate_bps == reference[flow]
+
+
+class TestVectorScalarBitEquality:
+    def test_full_simulation_digest_matches(self, monkeypatch):
+        """Vector and scalar paths produce bit-identical trajectories."""
+        import hashlib
+        import struct
+
+        import repro.netsim.fluid as fluid_mod
+        from repro.netsim.link import StochasticLink
+        from repro.netsim.stochastic import LognormalProcess
+        from repro.util.units import kbps
+
+        def digest(vector_min_flows, vector_min_alloc):
+            monkeypatch.setattr(
+                fluid_mod, "VECTOR_MIN_FLOWS", vector_min_flows
+            )
+            monkeypatch.setattr(
+                fluid_mod, "VECTOR_MIN_ALLOC_FLOWS", vector_min_alloc
+            )
+            net = FluidNetwork()
+            bottleneck = StochasticLink(
+                "b",
+                mbps(40.0),
+                LognormalProcess(seed=7, interval=2.0, sigma=0.3),
+            )
+            shared = Link("s2", mbps(18.0))
+            flows = []
+            for i in range(40):
+                access = Link(f"a{i}", mbps(1.0 + (i % 5) * 0.7))
+                chain = (
+                    (access, bottleneck)
+                    if i % 3
+                    else (access, shared, bottleneck)
+                )
+                cap = kbps(400.0 + (i % 4) * 200.0) if i % 4 == 0 else None
+                flow = make_flow(
+                    50_000.0 + (i * 31 % 53) * 3_000.0,
+                    chain,
+                    rate_cap_bps=cap,
+                )
+                flows.append(flow)
+                net.add_flow(flow, delay=(i % 11) * 0.03)
+            hasher = hashlib.sha256()
+            while net.step():
+                hasher.update(struct.pack("d", net.time))
+                for flow in flows:
+                    hasher.update(
+                        struct.pack(
+                            "dd", flow.current_rate_bps, flow.remaining_bytes
+                        )
+                    )
+            for name in sorted(net.link_bytes):
+                hasher.update(struct.pack("d", net.link_bytes[name]))
+            return hasher.hexdigest()
+
+        assert digest(2, 2) == digest(10**9, 10**9)

@@ -28,8 +28,13 @@ class TestConcurrentTransactions:
         b = make_runner(network, "b", mbps(4))
         a.start(Transaction(items_from_sizes([2 * MB], prefix="a")))
         b.start(Transaction(items_from_sizes([2 * MB], prefix="b")))
+        alive = True
         while not (a.finished and b.finished):
-            assert network.step(max_time=60.0)
+            # step() returns False only once drained — so the step that
+            # completes the last flow may return False, but the network
+            # must never drain while a runner is still unfinished.
+            assert alive
+            alive = network.step(max_time=60.0)
         assert a.collect_result().total_time == pytest.approx(2.0)
         assert b.collect_result().total_time == pytest.approx(4.0)
 
