@@ -113,7 +113,12 @@ class TransferGuard:
       "does not abort an in-flight transfer");
     * **aborts** a cellular path the moment the
       :class:`~repro.core.permits.PermitServer` revokes its device's
-      permit (an operator order: the radio must go quiet now).
+      permit (an operator order: the radio must go quiet now);
+    * **vetoes re-joins** of paths that lost authority: while attached
+      it installs itself as the runner's
+      :attr:`~repro.core.scheduler.runner.TransactionRunner.rejoin_gate`
+      so a fault schedule's ``up`` transition cannot re-enable a path
+      whose cap is still dry or whose permit is still revoked.
 
     Either way the transfer degrades gracefully: remaining items flow
     over the surviving paths, down to ADSL-only, and each reaction lands
@@ -137,6 +142,9 @@ class TransferGuard:
         self._metered: Dict[str, float] = {}
         self._unsubscribe: Optional[Callable[[], None]] = None
         self._chained: Optional[Callable[[ItemRecord], None]] = None
+        self._chained_gate: Optional[
+            Callable[[NetworkPath, float], bool]
+        ] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -159,6 +167,8 @@ class TransferGuard:
             self.network = runner.network
         self._chained = runner.on_item_complete
         runner.on_item_complete = self._on_item_complete
+        self._chained_gate = runner.rejoin_gate
+        runner.rejoin_gate = self._may_rejoin
         if self._obs is not None:
             for path in self._paths:
                 component = self._component_for(path)
@@ -193,6 +203,41 @@ class TransferGuard:
                 kind="permit-revoked",
                 detail=f"backend revoked {device_name}'s permit",
             )
+
+    def _may_rejoin(self, path: NetworkPath, now: float) -> bool:
+        """Runner re-join gate: does ``path`` still have authority?
+
+        A fault schedule's ``up`` transition means the *physical* link
+        is back; it says nothing about the session layer. A cellular
+        path whose cap ran dry stays out until the tracker's day rolls
+        over, and one whose permit was revoked stays out until the
+        backend grants a fresh permit (which it refuses while congested,
+        §2.4). ADSL and unguarded paths always pass.
+        """
+        if self._chained_gate is not None and not self._chained_gate(
+            path, now
+        ):
+            return False
+        guarded = next(
+            (p for p in self._paths if p.name == path.name), None
+        )
+        if guarded is None:
+            return True
+        component = self._component_for(guarded)
+        if component is None:
+            return True
+        tracker = component.cap_tracker
+        if tracker is not None and not tracker.may_advertise(now):
+            return False
+        device = guarded.device
+        if self.permit_server is not None and device is not None:
+            if not self.permit_server.has_valid_permit(device.name, now):
+                permit = self.permit_server.request_permit(
+                    device.name, device.sector.name, now
+                )
+                if permit is None:
+                    return False
+        return True
 
     def _on_item_complete(self, record: ItemRecord) -> None:
         assert self._runner is not None
@@ -250,6 +295,9 @@ class TransferGuard:
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+        if self._runner is not None:
+            self._runner.rejoin_gate = self._chained_gate
+            self._chained_gate = None
 
 
 def bind_fault_schedule(

@@ -154,7 +154,12 @@ class SchedulingPolicy:
 
         Called when a path joins (or re-joins after a flap) so the
         policy can track the new worker and create whatever per-path
-        state it keeps. Must be idempotent: a re-join of an existing
-        worker calls this too. The default ignores membership changes —
-        policies with per-path state override it.
+        state it keeps — and when a path *leaves* gracefully (drain on
+        cap exhaustion, idle removal) so a policy with per-path queues
+        can migrate the departed worker's unstarted items to the
+        survivors; a graceful leave aborts no copy, so
+        :meth:`on_item_failed` never fires for it. Must be idempotent:
+        a re-join of an existing worker calls this too. The default
+        ignores membership changes — policies with per-path state
+        override it.
         """

@@ -205,11 +205,45 @@ class MinTimePolicy(SchedulingPolicy):
     def on_membership_change(
         self, workers: Sequence[PathWorker], now: float
     ) -> None:
-        """Track the new worker set and create its queue/estimate slots."""
+        """Track the new set; migrate queues stranded on departed paths.
+
+        "Committed items are never reassigned" holds only between
+        membership changes: a path that leaves gracefully (cap drain)
+        aborts no copy, so without this migration its committed queue
+        would be stranded forever.
+        """
         self._workers = tuple(workers)
         for worker in workers:
             self._queues.setdefault(worker.index, [])
             self._estimates.setdefault(worker.index, None)
+        stranded: List[TransferItem] = []
+        for worker in self._workers:
+            if not worker.available and self._queues[worker.index]:
+                stranded.extend(self._queues[worker.index])
+                self._queues[worker.index] = []
+        if not stranded:
+            return
+        self._count(
+            "scheduler.requeues", amount=float(len(stranded))
+        )
+        alive = [w for w in self._workers if w.available]
+        if not alive:
+            for moved in stranded:
+                if moved not in self._unassigned:
+                    self._unassigned.append(moved)
+                    self._count("scheduler.orphaned_items")
+            self._flushed = False
+            return
+        for moved in stranded:
+            best = min(
+                alive,
+                key=lambda candidate: self._estimated_finish(
+                    candidate, moved.size_bytes
+                ),
+            )
+            queue = self._queues[best.index]
+            if moved not in queue:
+                queue.append(moved)
 
     def queue_depth(self, worker_index: int) -> int:
         """Items committed to one path and not yet started."""

@@ -63,9 +63,11 @@ class DegradationEvent:
 
     ``kind`` is a small vocabulary shared across the stack:
     ``path-fault`` (flap/death), ``path-drain`` (graceful removal),
-    ``path-rejoin`` / ``path-join`` (membership growth), ``stall``
-    (watchdog abort), ``retry-budget-exhausted``, ``permit-revoked``
-    and ``cap-exhausted`` (session-layer reactions).
+    ``path-rejoin`` / ``path-join`` (membership growth),
+    ``rejoin-vetoed`` (a re-join refused by the runner's
+    :attr:`~TransactionRunner.rejoin_gate`), ``stall`` (watchdog
+    abort), ``retry-budget-exhausted``, ``permit-revoked`` and
+    ``cap-exhausted`` (session-layer reactions).
     """
 
     time: float
@@ -232,6 +234,16 @@ class TransactionRunner:
         self.policy.bind_obs(self.obs)
         #: Structured log of every fault/drain/stall/recovery.
         self.degradations: List[DegradationEvent] = []
+        #: Session-layer veto over path re-joins. When set, a re-join of
+        #: a removed path (``add_path`` with a name) only proceeds if the
+        #: gate returns ``True`` for ``(path, now)``. A vetoed re-join
+        #: records a ``rejoin-vetoed`` degradation and leaves the worker
+        #: out of the set — this is how :class:`TransferGuard` keeps a
+        #: fault schedule's ``up`` transition from silently re-enabling
+        #: a path whose cap ran dry or whose permit was revoked.
+        self.rejoin_gate: Optional[Callable[[NetworkPath, float], bool]] = (
+            None
+        )
 
         self._workers = [
             PathWorker(index=i, path=path) for i, path in enumerate(self.paths)
@@ -358,9 +370,17 @@ class TransactionRunner:
         if self._worker_flow.get(worker.index) is flow:
             del self._worker_flow[worker.index]
         if worker.draining:
-            # The drained copy settled: the path now leaves the set.
+            # The drained copy settled: the path now leaves the set. The
+            # policy must hear about it — static policies (RR, MIN) keep
+            # per-path queues, and without a membership notification the
+            # drained worker's unstarted items would be stranded forever
+            # (no copy failed, so ``on_item_failed`` never fires).
             worker.draining = False
             worker.disabled = True
+            self.policy.on_membership_change(
+                tuple(self._workers), self.network.time
+            )
+            self._dispatch_idle()
 
     def _on_copy_complete(
         self, worker: PathWorker, item: TransferItem, flow: Flow, now: float
@@ -710,6 +730,16 @@ class TransactionRunner:
         worker.current_item = None
         if item is not None:
             self._recover_item(worker, item)
+        elif kind != "path-fault":
+            # An idle worker left for a session-layer reason (cap dry,
+            # permit revoked): no copy failed, so ``on_item_failed``
+            # will never run to migrate whatever the policy still had
+            # queued for it, and — unlike a physical fault — no later
+            # re-join will re-deal it either. Tell the policy the set
+            # shrank instead. A ``path-fault`` keeps the deferred-
+            # recovery semantics: the queue waits out the outage and
+            # re-deals on re-join.
+            self.policy.on_membership_change(tuple(self._workers), now)
         self._dispatch_idle()
         return True
 
@@ -719,8 +749,11 @@ class TransactionRunner:
         """Bring a path (back) into the transfer set mid-transaction.
 
         Given a name, re-enables the matching removed worker (re-join
-        after a flap). Given a new :class:`NetworkPath`, appends a fresh
-        worker — the multipath set can grow while a transaction runs
+        after a flap) — unless the :attr:`rejoin_gate` vetoes it, in
+        which case a ``rejoin-vetoed`` degradation is recorded and the
+        still-removed worker is returned. Given a new
+        :class:`NetworkPath`, appends a fresh worker — the multipath
+        set can grow while a transaction runs
         (e.g. a phone arriving home). Idempotent for already-active
         paths. The policy learns of the change via
         :meth:`~repro.core.scheduler.base.SchedulingPolicy.\
@@ -730,6 +763,21 @@ on_membership_change` and the path starts pulling work immediately.
         if isinstance(path, str):
             worker = self._worker_by_name(path)
             if worker.available:
+                return worker
+            if self.rejoin_gate is not None and not self.rejoin_gate(
+                worker.path, now
+            ):
+                # The session layer says the path has no authority to
+                # carry traffic (cap dry, permit revoked): the physical
+                # link coming back does not re-enable it.
+                self._record(
+                    DegradationEvent(
+                        time=now,
+                        kind="rejoin-vetoed",
+                        path_name=worker.path.name,
+                        detail="session layer vetoed re-join",
+                    )
+                )
                 return worker
             worker.disabled = False
             worker.draining = False

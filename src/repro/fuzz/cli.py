@@ -16,18 +16,23 @@ budget).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional, Sequence
 
 from repro.fuzz.session import FuzzReport, FuzzSession
 from repro.fuzz.targets import all_targets, get_target
+from repro.util.clitools import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    cli_error,
+    render_json_payload,
+)
 
 __all__ = ["main"]
 
-EXIT_CLEAN = 0
-EXIT_CRASHES = 1
-EXIT_USAGE = 2
+#: Back-compat alias: a crash is this tool's "finding".
+EXIT_CRASHES = EXIT_FINDINGS
 
 DEFAULT_ITERATIONS = 2000
 
@@ -105,13 +110,11 @@ def render_text(reports: Sequence[FuzzReport]) -> str:
 
 
 def render_json_report(reports: Sequence[FuzzReport]) -> str:
-    return json.dumps(
+    return render_json_payload(
         {
             "clean": all(report.clean for report in reports),
             "reports": [report.to_dict() for report in reports],
-        },
-        indent=2,
-        sort_keys=True,
+        }
     )
 
 
@@ -123,14 +126,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{target.name}: {target.description}")
         return EXIT_CLEAN
     if args.iterations <= 0:
-        print("repro-fuzz: error: --iterations must be > 0", file=sys.stderr)
-        return EXIT_USAGE
+        return cli_error("repro-fuzz", "--iterations must be > 0")
     if args.target:
         try:
             targets = tuple(get_target(name) for name in args.target)
         except KeyError as exc:
-            print(f"repro-fuzz: error: {exc.args[0]}", file=sys.stderr)
-            return EXIT_USAGE
+            return cli_error("repro-fuzz", str(exc.args[0]))
     else:
         targets = all_targets()
     reports = [

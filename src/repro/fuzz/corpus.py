@@ -68,6 +68,10 @@ def load_corpus(
         return ()
     for manifest_path in sorted(root.glob(f"*/{MANIFEST_NAME}")):
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if "target" not in manifest:
+            # Not a fuzz corpus — tests/corpus/ is shared with the
+            # scenario hunter, whose manifests have no wire target.
+            continue
         target_name = manifest["target"]
         if target is not None and target_name != target:
             continue

@@ -19,7 +19,6 @@ per distinct bug rather than thousands of noisy variants.
 from __future__ import annotations
 
 import random
-import traceback
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -27,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.fuzz.mutators import MAX_MUTANT_BYTES, MUTATORS, mutate_bytes
 from repro.fuzz.targets import FuzzTarget
 from repro.proto.errors import ProtocolError
+from repro.util.triage import failure_site
 
 #: Exceptions the hardened parsers are allowed to raise.
 HANDLED = (ProtocolError,)
@@ -100,16 +100,10 @@ def crash_site(exc: BaseException) -> str:
     """Deepest raise site inside ``repro`` (the fuzzer itself excluded).
 
     Formatted ``module.py:lineno:function`` so two payloads tripping the
-    same raise statement triage to the same bug.
+    same raise statement triage to the same bug. Thin wrapper over the
+    shared :func:`repro.util.triage.failure_site`.
     """
-    site = "<outside-repro>"
-    for frame in traceback.extract_tb(exc.__traceback__):
-        path = frame.filename.replace("\\", "/")
-        if "/repro/" not in path or "/repro/fuzz/" in path:
-            continue
-        short = path.rsplit("/repro/", 1)[1]
-        site = f"{short}:{frame.lineno}:{frame.name}"
-    return site
+    return failure_site(exc, exclude=("/repro/fuzz/",))
 
 
 class FuzzSession:

@@ -1,0 +1,433 @@
+"""Scenario specs: the hunt driver's mutation space.
+
+A :class:`Scenario` is a small, JSON-serialisable description of one
+adversarial end-to-end run: a household population, a workload, a
+scheduling policy, the runner's hardening knobs, an authority
+configuration (daily caps, a permit-revocation onset) and a composed
+set of seeded fault processes. Everything the discrete-event engine
+needs to replay the run bit-for-bit is in the spec — there is no hidden
+state, which is what makes a minimised scenario a reviewable regression
+artifact.
+
+The generator and mutator draw from a seeded
+:class:`numpy.random.Generator` (never the global :mod:`random`
+module), so a hunt campaign is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netsim.faults import (
+    FaultProcess,
+    FaultSchedule,
+    LatencySpikeProcess,
+    PathFlapProcess,
+    RadioDropProcess,
+    WifiDepartureProcess,
+)
+from repro.util.units import bits_to_bytes, mbps
+
+__all__ = [
+    "ADSL_FLOOR_BYTES_PER_S",
+    "FaultSpec",
+    "POLICY_CHOICES",
+    "Scenario",
+    "generate_scenario",
+    "generous_cutoff_s",
+    "mutate_scenario",
+]
+
+#: Policies the generator draws from (the paper's comparison set).
+POLICY_CHOICES: Tuple[str, ...] = ("GRD", "RR", "MIN", "DLN")
+
+#: Fault-spec kinds the generator draws from.
+FAULT_KINDS: Tuple[str, ...] = (
+    "flap",
+    "wifi-departure",
+    "radio-drop",
+    "latency-spike",
+)
+
+#: Payload floor of the hunt testbed's always-on wired path: 2 Mbps
+#: ADSL at 0.55 goodput efficiency, in bytes/second. The completion
+#: oracle's "generous cutoff" bound derives from this.
+ADSL_FLOOR_BYTES_PER_S = bits_to_bytes(mbps(2.0) * 0.55)
+
+
+def generous_cutoff_s(n_items: int, item_bytes: float) -> float:
+    """A cutoff so generous that non-completion is an invariant breach.
+
+    Twenty times the time the always-up ADSL path alone would need for
+    the whole payload, plus a startup minute. A scenario that keeps its
+    wired path fault-free and still misses this deadline has lost items
+    to the churn machinery, not to bandwidth.
+    """
+    payload = float(n_items) * float(item_bytes)
+    return 60.0 + 20.0 * payload / ADSL_FLOOR_BYTES_PER_S
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One seeded fault process aimed at one path of the scenario.
+
+    ``target_index`` indexes the runner's path list: 0 is the wired
+    ADSL path, 1..n_phones the cellular paths. The parameter fields are
+    interpreted per ``kind``: renewal processes (``flap``,
+    ``wifi-departure``) use ``mean_up_s``/``mean_down_s``; point
+    processes use ``rate`` (``radio-drop``: drops/hour;
+    ``latency-spike``: spikes/minute) and ``duration_s``.
+    """
+
+    kind: str
+    target_index: int
+    seed: int
+    mean_up_s: float = 60.0
+    mean_down_s: float = 5.0
+    rate: float = 30.0
+    duration_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.target_index < 0:
+            raise ValueError("target_index must be >= 0")
+
+    def build(self, target_name: str) -> FaultProcess:
+        """Materialise the seeded process against a concrete path."""
+        if self.kind == "flap":
+            return PathFlapProcess(
+                target_name,
+                seed=self.seed,
+                mean_up_s=self.mean_up_s,
+                mean_down_s=self.mean_down_s,
+                min_down_s=0.5,
+            )
+        if self.kind == "wifi-departure":
+            return WifiDepartureProcess(
+                target_name,
+                seed=self.seed,
+                mean_home_s=self.mean_up_s,
+                mean_away_s=self.mean_down_s,
+            )
+        if self.kind == "radio-drop":
+            return RadioDropProcess(
+                target_name,
+                seed=self.seed,
+                drops_per_hour=self.rate,
+                outage_s=self.duration_s,
+            )
+        return LatencySpikeProcess(
+            target_name,
+            seed=self.seed,
+            spikes_per_minute=self.rate,
+            spike_s=self.duration_s,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "kind": self.kind,
+            "target_index": self.target_index,
+            "seed": self.seed,
+            "mean_up_s": self.mean_up_s,
+            "mean_down_s": self.mean_down_s,
+            "rate": self.rate,
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        known = {
+            "kind",
+            "target_index",
+            "seed",
+            "mean_up_s",
+            "mean_down_s",
+            "rate",
+            "duration_s",
+        }
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown FaultSpec keys: {sorted(extra)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified adversarial run of the 3GOL stack."""
+
+    name: str
+    #: Household / workload seed (topology attachment, phone channels).
+    seed: int
+    policy: str
+    n_phones: int
+    n_items: int
+    #: Uniform item size — S_max of the duplicate-waste bound.
+    item_bytes: float
+    cutoff_s: float
+    #: ``None`` disables the per-flow watchdog.
+    stall_timeout_s: Optional[float] = 30.0
+    retry_max_attempts: int = 6
+    #: Per-phone daily cap; ``None`` = effectively uncapped.
+    cap_budget_bytes: Optional[float] = None
+    #: Congestion onset: every phone's permit is revoked this many
+    #: seconds into the run (and the cell stays congested after), or
+    #: ``None`` for no permit layer at all.
+    permit_revoke_at_s: Optional[float] = None
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_CHOICES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"expected one of {POLICY_CHOICES}"
+            )
+        if self.n_phones < 1:
+            raise ValueError("n_phones must be >= 1")
+        if self.n_items < 1:
+            raise ValueError("n_items must be >= 1")
+        if self.item_bytes <= 0:
+            raise ValueError("item_bytes must be positive")
+        if self.cutoff_s <= 0:
+            raise ValueError("cutoff_s must be positive")
+        for spec in self.faults:
+            if spec.target_index > self.n_phones:
+                raise ValueError(
+                    f"fault target_index {spec.target_index} out of "
+                    f"range for {self.n_phones} phone(s)"
+                )
+
+    @property
+    def payload_bytes(self) -> float:
+        """Total workload volume."""
+        return float(self.n_items) * float(self.item_bytes)
+
+    def build_fault_schedule(
+        self, path_names: Sequence[str]
+    ) -> FaultSchedule:
+        """The composed seeded schedule against concrete path names."""
+        schedule = FaultSchedule()
+        for spec in self.faults:
+            schedule.add(spec.build(path_names[spec.target_index]))
+        return schedule
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "policy": self.policy,
+            "n_phones": self.n_phones,
+            "n_items": self.n_items,
+            "item_bytes": self.item_bytes,
+            "cutoff_s": self.cutoff_s,
+            "stall_timeout_s": self.stall_timeout_s,
+            "retry_max_attempts": self.retry_max_attempts,
+            "cap_budget_bytes": self.cap_budget_bytes,
+            "permit_revoke_at_s": self.permit_revoke_at_s,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        data = dict(payload)
+        faults = tuple(
+            FaultSpec.from_dict(spec) for spec in data.pop("faults", [])
+        )
+        known = {
+            "name",
+            "seed",
+            "policy",
+            "n_phones",
+            "n_items",
+            "item_bytes",
+            "cutoff_s",
+            "stall_timeout_s",
+            "retry_max_attempts",
+            "cap_budget_bytes",
+            "permit_revoke_at_s",
+        }
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown Scenario keys: {sorted(extra)}")
+        return cls(faults=faults, **data)
+
+    def to_json(self) -> str:
+        """Human-reviewable canonical JSON (indented, sorted keys)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Parse :meth:`to_json` output back into a spec."""
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Generation and mutation
+# ---------------------------------------------------------------------------
+
+
+def _pick(rng: np.random.Generator, options: Sequence[Any]) -> Any:
+    """Deterministic index-based choice (no dtype surprises)."""
+    return options[int(rng.integers(0, len(options)))]
+
+
+def _make_fault(
+    rng: np.random.Generator, n_phones: int, seed: int
+) -> FaultSpec:
+    """One random fault spec; phones are the usual target, ADSL rarely."""
+    if rng.random() < 0.15:
+        target = 0
+    else:
+        target = int(rng.integers(1, n_phones + 1))
+    kind = _pick(rng, FAULT_KINDS)
+    return FaultSpec(
+        kind=kind,
+        target_index=target,
+        seed=seed,
+        mean_up_s=round(float(rng.uniform(10.0, 120.0)), 1),
+        mean_down_s=round(float(rng.uniform(2.0, 20.0)), 1),
+        rate=(
+            round(float(rng.uniform(5.0, 60.0)), 1)
+            if kind == "radio-drop"
+            else round(float(rng.uniform(1.0, 10.0)), 1)
+        ),
+        duration_s=round(float(rng.uniform(1.0, 12.0)), 1),
+    )
+
+
+def generate_scenario(rng: np.random.Generator, name: str) -> Scenario:
+    """Draw one fresh scenario from the seeded generator."""
+    n_phones = int(rng.integers(1, 4))
+    n_items = int(rng.integers(4, 25))
+    item_bytes = float(rng.integers(5, 201)) * 10_000.0
+    payload = n_items * item_bytes
+    n_faults = int(rng.integers(0, 5))
+    faults = tuple(
+        _make_fault(rng, n_phones, seed=int(rng.integers(0, 2**31)))
+        for _ in range(n_faults)
+    )
+    cap_budget: Optional[float] = None
+    if rng.random() < 0.5:
+        cap_budget = round(payload * float(rng.uniform(0.05, 0.6)))
+    revoke_at: Optional[float] = None
+    if rng.random() < 0.3:
+        revoke_at = round(float(rng.uniform(1.0, 60.0)), 1)
+    cutoff = round(
+        generous_cutoff_s(n_items, item_bytes)
+        * float(rng.uniform(1.0, 1.5))
+    )
+    return Scenario(
+        name=name,
+        seed=int(rng.integers(0, 1000)),
+        policy=_pick(rng, POLICY_CHOICES),
+        n_phones=n_phones,
+        n_items=n_items,
+        item_bytes=item_bytes,
+        cutoff_s=float(cutoff),
+        stall_timeout_s=_pick(rng, (None, 15.0, 30.0, 60.0)),
+        retry_max_attempts=int(_pick(rng, (2, 4, 6))),
+        cap_budget_bytes=cap_budget,
+        permit_revoke_at_s=revoke_at,
+        faults=faults,
+    )
+
+
+def mutate_scenario(
+    rng: np.random.Generator, base: Scenario, name: str
+) -> Scenario:
+    """One random structural or parametric mutation of ``base``."""
+    moves: List[str] = [
+        "policy",
+        "items",
+        "size",
+        "cap",
+        "permit",
+        "stall",
+        "retries",
+        "add-fault",
+        "cutoff",
+    ]
+    if base.faults:
+        moves += ["drop-fault", "perturb-fault"]
+    move = _pick(rng, moves)
+    if move == "policy":
+        return replace(base, name=name, policy=_pick(rng, POLICY_CHOICES))
+    if move == "items":
+        return replace(
+            base, name=name, n_items=max(1, int(rng.integers(1, 25)))
+        )
+    if move == "size":
+        return replace(
+            base,
+            name=name,
+            item_bytes=float(rng.integers(5, 201)) * 10_000.0,
+        )
+    if move == "cap":
+        if base.cap_budget_bytes is None:
+            budget = round(base.payload_bytes * float(rng.uniform(0.05, 0.6)))
+            return replace(base, name=name, cap_budget_bytes=float(budget))
+        return replace(base, name=name, cap_budget_bytes=None)
+    if move == "permit":
+        if base.permit_revoke_at_s is None:
+            return replace(
+                base,
+                name=name,
+                permit_revoke_at_s=round(float(rng.uniform(1.0, 60.0)), 1),
+            )
+        return replace(base, name=name, permit_revoke_at_s=None)
+    if move == "stall":
+        return replace(
+            base,
+            name=name,
+            stall_timeout_s=_pick(rng, (None, 15.0, 30.0, 60.0)),
+        )
+    if move == "retries":
+        return replace(
+            base, name=name, retry_max_attempts=int(_pick(rng, (2, 4, 6)))
+        )
+    if move == "add-fault":
+        spec = _make_fault(
+            rng, base.n_phones, seed=int(rng.integers(0, 2**31))
+        )
+        return replace(base, name=name, faults=base.faults + (spec,))
+    if move == "drop-fault":
+        keep = int(rng.integers(0, len(base.faults)))
+        faults = tuple(
+            spec for i, spec in enumerate(base.faults) if i != keep
+        )
+        return replace(base, name=name, faults=faults)
+    if move == "perturb-fault":
+        which = int(rng.integers(0, len(base.faults)))
+        spec = base.faults[which]
+        perturbed = replace(
+            spec,
+            mean_down_s=round(
+                max(0.5, spec.mean_down_s * float(rng.uniform(0.5, 2.0))), 1
+            ),
+            rate=round(max(0.5, spec.rate * float(rng.uniform(0.5, 2.0))), 1),
+        )
+        faults = tuple(
+            perturbed if i == which else s
+            for i, s in enumerate(base.faults)
+        )
+        return replace(base, name=name, faults=faults)
+    # move == "cutoff": shrink toward (but not below) the generous bound.
+    floor = generous_cutoff_s(base.n_items, base.item_bytes)
+    return replace(
+        base,
+        name=name,
+        cutoff_s=float(
+            round(max(floor, base.cutoff_s * float(rng.uniform(0.6, 1.0))))
+        ),
+    )

@@ -1,0 +1,306 @@
+"""The hunt driver: seeded scenario search, dedup, minimisation.
+
+A :class:`HuntSession` generalises the wire fuzzer's loop from byte
+payloads to whole scenarios: each iteration draws a fresh scenario from
+the seeded generator (or mutates a pool member), executes it through
+the full stack, and checks the invariant oracle registry. A violation
+is deduplicated by its ``(oracle, extra)`` signature — the same oracle
+firing on the same site is the same bug — and the first scenario to
+exhibit a new signature is greedily minimised: structural shrink
+candidates (drop a fault, null the permit layer, halve the workload,
+lose a phone, …) replace the scenario whenever they still reproduce
+one of the finding's oracles.
+
+The executor is injectable, so inverse-control tests can plant a
+violation behind a stub stack and assert the driver finds, dedups and
+minimises it deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.hunt.oracles import Violation, check_outcome, oracle_ids
+from repro.hunt.run import ScenarioOutcome, run_scenario
+from repro.hunt.scenario import (
+    Scenario,
+    generate_scenario,
+    generous_cutoff_s,
+    mutate_scenario,
+)
+
+__all__ = ["Finding", "HuntReport", "HuntSession"]
+
+#: How many recent scenarios the session keeps as mutation bases.
+MAX_POOL = 32
+
+#: Executor-call budget for minimising one finding.
+MINIMIZE_BUDGET = 40
+
+#: An executor maps a scenario to its outcome (injectable for tests).
+Executor = Callable[[Scenario], ScenarioOutcome]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One deduplicated invariant breach with its minimised witness."""
+
+    #: Signatures this finding covers, sorted: ``(oracle, extra)``.
+    keys: Tuple[Tuple[str, str], ...]
+    #: The minimised scenario that still reproduces the breach.
+    scenario: Scenario
+    #: The scenario as first generated (pre-minimisation).
+    original: Scenario
+    #: Violations the minimised scenario produced.
+    violations: Tuple[Violation, ...]
+    #: 0-based campaign iteration that first hit the signature.
+    iteration: int
+    #: Executor calls the minimiser spent.
+    minimize_runs: int
+    #: Later campaign iterations that re-hit the same signature.
+    duplicates: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (drives the byte-deterministic report)."""
+        return {
+            "keys": [list(key) for key in self.keys],
+            "scenario": self.scenario.to_dict(),
+            "original": self.original.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "iteration": self.iteration,
+            "minimize_runs": self.minimize_runs,
+            "duplicates": self.duplicates,
+        }
+
+
+@dataclass
+class HuntReport:
+    """Outcome of one :meth:`HuntSession.run` campaign."""
+
+    seed: int
+    budget: int
+    #: Scenarios executed by the campaign loop (minimiser excluded).
+    runs: int = 0
+    #: Scenarios whose oracle suite came back clean.
+    clean_runs: int = 0
+    #: Total executor calls including minimisation.
+    executor_runs: int = 0
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the whole campaign violated no invariant."""
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form — byte-identical for identical campaigns."""
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "runs": self.runs,
+            "clean_runs": self.clean_runs,
+            "executor_runs": self.executor_runs,
+            "oracles": oracle_ids(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def _complexity(scenario: Scenario) -> float:
+    """Shrink objective: lower is simpler (drives greedy acceptance)."""
+    return (
+        len(scenario.faults) * 100.0
+        + scenario.n_phones * 10.0
+        + scenario.n_items
+        + scenario.item_bytes / 10_000.0
+        + (0.0 if scenario.cap_budget_bytes is None else 50.0)
+        + (0.0 if scenario.permit_revoke_at_s is None else 50.0)
+        + (0.0 if scenario.stall_timeout_s is None else 5.0)
+        + scenario.cutoff_s / 1_000.0
+    )
+
+
+def _shrink_candidates(scenario: Scenario) -> List[Scenario]:
+    """Structural shrink moves, most aggressive first."""
+    out: List[Scenario] = []
+    for index in range(len(scenario.faults)):
+        out.append(
+            replace(
+                scenario,
+                faults=tuple(
+                    spec
+                    for i, spec in enumerate(scenario.faults)
+                    if i != index
+                ),
+            )
+        )
+    if scenario.permit_revoke_at_s is not None:
+        out.append(replace(scenario, permit_revoke_at_s=None))
+    if scenario.cap_budget_bytes is not None:
+        out.append(replace(scenario, cap_budget_bytes=None))
+    if scenario.n_phones > 1:
+        fewer = scenario.n_phones - 1
+        out.append(
+            replace(
+                scenario,
+                n_phones=fewer,
+                faults=tuple(
+                    spec
+                    for spec in scenario.faults
+                    if spec.target_index <= fewer
+                ),
+            )
+        )
+    if scenario.n_items > 1:
+        out.append(replace(scenario, n_items=scenario.n_items // 2))
+    if scenario.item_bytes > 10_000.0:
+        halved = float(int(scenario.item_bytes / 2.0) // 10_000 * 10_000)
+        out.append(
+            replace(scenario, item_bytes=max(10_000.0, halved))
+        )
+    if scenario.stall_timeout_s is not None:
+        out.append(replace(scenario, stall_timeout_s=None))
+    floor = generous_cutoff_s(scenario.n_items, scenario.item_bytes)
+    shrunk_cutoff = float(round(max(floor, scenario.cutoff_s * 0.5)))
+    if shrunk_cutoff < scenario.cutoff_s:
+        out.append(replace(scenario, cutoff_s=shrunk_cutoff))
+    return out
+
+
+class HuntSession:
+    """Deterministic adversarial scenario search.
+
+    Everything downstream of ``seed`` is a pure function of it: the
+    generator/mutator stream, the execution (seeded fault processes on
+    the event engine), the oracle checks, and the minimiser's greedy
+    walk — so the same seed and budget produce a byte-identical
+    :class:`HuntReport`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        executor: Optional[Executor] = None,
+        only: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.executor: Executor = executor or run_scenario
+        #: Oracle-id subset to check (``None``: the whole registry).
+        self.only = list(only) if only is not None else None
+        self._rng = np.random.default_rng(self.seed & 0xFFFFFFFF)
+        self._pool: List[Scenario] = []
+
+    # ------------------------------------------------------------------
+    # One iteration
+    # ------------------------------------------------------------------
+    def _next_scenario(self, iteration: int) -> Scenario:
+        name = f"hunt-{self.seed}-{iteration:04d}"
+        if self._pool and self._rng.random() < 0.5:
+            base = self._pool[
+                int(self._rng.integers(0, len(self._pool)))
+            ]
+            return mutate_scenario(self._rng, base, name)
+        return generate_scenario(self._rng, name)
+
+    def check(self, scenario: Scenario) -> List[Violation]:
+        """Execute one scenario and run the oracle suite over it."""
+        return check_outcome(self.executor(scenario), only=self.only)
+
+    # ------------------------------------------------------------------
+    # Minimisation
+    # ------------------------------------------------------------------
+    def minimize(
+        self,
+        scenario: Scenario,
+        target_oracles: Set[str],
+        budget: int = MINIMIZE_BUDGET,
+    ) -> Tuple[Scenario, Tuple[Violation, ...], int]:
+        """Greedy structural shrink keeping a target oracle firing.
+
+        Returns ``(minimised scenario, its violations, executor runs)``.
+        A candidate is accepted when it is strictly simpler under
+        :func:`_complexity` and at least one of ``target_oracles``
+        still fires on it.
+        """
+        current = scenario
+        current_violations = tuple(
+            v
+            for v in check_outcome(
+                self.executor(current), only=self.only
+            )
+        )
+        runs = 1
+        improved = True
+        while improved and runs < budget:
+            improved = False
+            for candidate in _shrink_candidates(current):
+                if _complexity(candidate) >= _complexity(current):
+                    continue
+                if runs >= budget:
+                    break
+                violations = check_outcome(
+                    self.executor(candidate), only=self.only
+                )
+                runs += 1
+                if target_oracles & {v.oracle for v in violations}:
+                    current = candidate
+                    current_violations = tuple(violations)
+                    improved = True
+                    break
+        minimized = replace(current, name=f"{scenario.name}-min")
+        return minimized, current_violations, runs
+
+    # ------------------------------------------------------------------
+    # The campaign
+    # ------------------------------------------------------------------
+    def run(self, budget: int) -> HuntReport:
+        """Hunt for ``budget`` scenarios; returns the triaged report."""
+        report = HuntReport(seed=self.seed, budget=budget)
+        seen: Dict[Tuple[Tuple[str, str], ...], Finding] = {}
+        covered: Set[Tuple[str, str]] = set()
+        for iteration in range(budget):
+            scenario = self._next_scenario(iteration)
+            violations = self.check(scenario)
+            report.runs += 1
+            report.executor_runs += 1
+            if not violations:
+                report.clean_runs += 1
+                self._pool.append(scenario)
+                if len(self._pool) > MAX_POOL:
+                    del self._pool[0]
+                continue
+            keys = tuple(
+                sorted({(v.oracle, v.extra) for v in violations})
+            )
+            if set(keys) <= covered:
+                for known_keys, finding in seen.items():
+                    if set(keys) & set(known_keys):
+                        seen[known_keys] = replace(
+                            finding, duplicates=finding.duplicates + 1
+                        )
+                        break
+                continue
+            covered.update(keys)
+            # A violating scenario is prime mutation material: keep it.
+            self._pool.append(scenario)
+            if len(self._pool) > MAX_POOL:
+                del self._pool[0]
+            target_ids = {oracle for oracle, _ in keys}
+            minimized, min_violations, runs = self.minimize(
+                scenario, target_ids
+            )
+            report.executor_runs += runs
+            seen[keys] = Finding(
+                keys=keys,
+                scenario=minimized,
+                original=scenario,
+                violations=min_violations or tuple(violations),
+                iteration=iteration,
+                minimize_runs=runs,
+            )
+        report.findings = sorted(
+            seen.values(), key=lambda finding: finding.keys
+        )
+        return report

@@ -20,12 +20,14 @@ from typing import List, Optional, Sequence
 
 from repro.lint.core import UnknownRuleError, lint_paths, select_rules
 from repro.lint.reporters import render_json, render_rule_list, render_text
+from repro.util.clitools import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    cli_error,
+)
 
 __all__ = ["main"]
-
-EXIT_CLEAN = 0
-EXIT_FINDINGS = 1
-EXIT_USAGE = 2
 
 
 def _split_codes(value: Optional[str]) -> List[str]:
@@ -80,21 +82,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return EXIT_CLEAN
     if not args.paths:
         parser.print_usage(sys.stderr)
-        print("repro-lint: error: no paths given", file=sys.stderr)
-        return EXIT_USAGE
+        return cli_error("repro-lint", "no paths given")
     try:
         rules = select_rules(
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
         )
     except UnknownRuleError as exc:
-        print(f"repro-lint: error: {exc}", file=sys.stderr)
-        return EXIT_USAGE
+        return cli_error("repro-lint", str(exc))
     try:
         run = lint_paths(args.paths, rules=rules)
     except OSError as exc:
-        print(f"repro-lint: error: {exc}", file=sys.stderr)
-        return EXIT_USAGE
+        return cli_error("repro-lint", str(exc))
     if args.format == "json":
         print(render_json(run))
     else:

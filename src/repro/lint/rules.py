@@ -77,6 +77,9 @@ _DETERMINISM_PACKAGES = (
     # bench measures wall-clock on purpose — but only via perf_counter,
     # which RL001 permits; time.time()/random.* are still banned there.
     "bench",
+    # hunt promises seed-reproducible scenario generation, mutation and
+    # minimization — the corpus is only replayable if that holds.
+    "hunt",
 )
 
 #: ``datetime``-ish attributes that read the wall clock.
@@ -460,6 +463,11 @@ class ExceptionHygieneRule(Rule):
             or parts == ("core", "resilience.py")
             or parts == ("experiments", "runner.py")
             or parts == ("netsim", "faults.py")
+            # The hunter's executor distinguishes engine crashes (oracle
+            # evidence) from its own bugs; a swallowed except would file
+            # real defects as clean runs.
+            or parts == ("hunt", "run.py")
+            or parts == ("hunt", "session.py")
         )
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
@@ -684,7 +692,7 @@ class ProtocolTaxonomyRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: Top-level packages whose whole public surface is documented.
-_DOCSTRING_PACKAGES = ("core", "obs")
+_DOCSTRING_PACKAGES = ("core", "obs", "hunt")
 
 #: Individual modules outside those packages held to the same bar.
 _DOCSTRING_MODULES = (

@@ -266,8 +266,16 @@ def _merge_outages(outages: Sequence[Outage]) -> List[Outage]:
     """Union of overlapping intervals (per one target).
 
     The merged interval keeps the kind of its earliest contributor.
+    Exactly-adjacent intervals (one ends where the next starts) merge:
+    the path never actually came up in between, so emitting an up/down
+    pair at the same instant would be noise. Zero- and negative-duration
+    intervals are dropped — an outage with no extent takes nothing down
+    and must not generate transitions.
     """
-    ordered = sorted(outages, key=lambda o: (o.start, o.end))
+    ordered = sorted(
+        (o for o in outages if o.end > o.start),
+        key=lambda o: (o.start, o.end),
+    )
     merged: List[Outage] = []
     for outage in ordered:
         if merged and outage.start <= merged[-1].end:
@@ -388,9 +396,14 @@ class FaultSchedule:
 def downtime_fraction(
     outages: Sequence[Outage], start: float, horizon: float, target: str
 ) -> float:
-    """Fraction of ``[start, horizon)`` the target spends down."""
+    """Fraction of ``[start, horizon)`` the target spends down.
+
+    An empty or inverted window (``horizon <= start``) contains no time
+    at all, so the downtime fraction is 0.0 — total, not an error, so
+    generated scenarios with degenerate horizons stay well-defined.
+    """
     if horizon <= start:
-        raise ValueError("horizon must exceed start")
+        return 0.0
     total = sum(
         max(0.0, min(o.end, horizon) - max(o.start, start))
         for o in outages

@@ -34,12 +34,14 @@ from repro.obs.export import (
     parse_lines,
     summarize_lines,
 )
+from repro.util.clitools import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    cli_error,
+)
 
 __all__ = ["main"]
-
-EXIT_CLEAN = 0
-EXIT_FINDINGS = 1
-EXIT_USAGE = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,8 +119,7 @@ def _read_trace(path: str) -> List[str]:
 
 
 def _fail(message: str, code: int) -> int:
-    print(f"repro-trace: error: {message}", file=sys.stderr)
-    return code
+    return cli_error("repro-trace", message, code)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:

@@ -3,9 +3,20 @@
 This package holds the small building blocks every other subpackage relies
 on: unit conversions between bits, bytes and rates (:mod:`repro.util.units`),
 seeded random-number helpers (:mod:`repro.util.rng`), light-weight argument
-validation (:mod:`repro.util.validate`) and streaming statistics
-(:mod:`repro.util.stats`).
+validation (:mod:`repro.util.validate`), streaming statistics
+(:mod:`repro.util.stats`), the shared console-script exit-code contract
+(:mod:`repro.util.clitools`) and exception triage for the fuzz/hunt
+drivers (:mod:`repro.util.triage`).
 """
+
+from repro.util.clitools import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    cli_error,
+    render_json_payload,
+)
+from repro.util.triage import failure_site
 
 from repro.util.units import (
     KB,
@@ -35,6 +46,12 @@ from repro.util.validate import (
 from repro.util.stats import RunningStats, ewma_update
 
 __all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "cli_error",
+    "failure_site",
+    "render_json_payload",
     "KB",
     "MB",
     "GB",

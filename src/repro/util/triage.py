@@ -1,0 +1,35 @@
+"""Failure triage shared by the fuzzing and scenario-hunting drivers.
+
+Both drivers deduplicate findings by *where* an exception escaped, not
+by the noisy input that triggered it: two payloads (or two scenarios)
+tripping the same raise statement are the same bug.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Sequence
+
+__all__ = ["failure_site"]
+
+
+def failure_site(
+    exc: BaseException, exclude: Sequence[str] = ()
+) -> str:
+    """Deepest raise site inside ``repro``, as ``module.py:lineno:func``.
+
+    ``exclude`` lists path fragments of the driver itself (e.g.
+    ``"/repro/fuzz/"``) so the harness's own frames never count as the
+    bug's location. Returns ``"<outside-repro>"`` when no project frame
+    is on the traceback at all.
+    """
+    site = "<outside-repro>"
+    for frame in traceback.extract_tb(exc.__traceback__):
+        path = frame.filename.replace("\\", "/")
+        if "/repro/" not in path:
+            continue
+        if any(fragment in path for fragment in exclude):
+            continue
+        short = path.rsplit("/repro/", 1)[1]
+        site = f"{short}:{frame.lineno}:{frame.name}"
+    return site

@@ -150,3 +150,111 @@ class TestGuardMechanics:
         assert len(result.records) == 12
         kinds = {e.kind for e in result.degradations}
         assert "path-fault" in kinds
+
+
+class TestRejoinVeto:
+    """The guard vetoes re-joins of paths that lost their authority.
+
+    A fault schedule's ``up`` transition only says the physical link is
+    back; whether the session layer may use it again depends on the cap
+    tracker (§6) and the permit backend (§2.4). The scenario hunter
+    found re-joins bypassing both — these pin the fix at guard level.
+    """
+
+    def run_guarded(self, session, n=6):
+        from repro.core.items import Direction, Transaction
+        from repro.core.scheduler import (
+            IMMEDIATE_RETRY,
+            TransactionRunner,
+            make_policy,
+        )
+        from repro.core.uploader import photos_to_items
+
+        network = session.network
+        paths = session.paths_for(Direction.UPLOAD)
+        runner = TransactionRunner(
+            network,
+            paths,
+            make_policy("GRD"),
+            retry_policy=IMMEDIATE_RETRY,
+        )
+        guard = session._make_guard()
+        guard.attach(runner, paths)
+        runner.start(Transaction(photos_to_items(photos(n))))
+        while not runner.finished:
+            if not network.step(max_time=network.time + 600.0):
+                break
+        assert runner.finished
+        return runner, guard, paths
+
+    def test_cap_dry_path_cannot_rejoin(self, quiet_location):
+        session = OnloadSession.for_location(
+            quiet_location, n_phones=1, seed=1, daily_budget_bytes=1 * MB
+        )
+        runner, guard, paths = self.run_guarded(session)
+        phone = next(p for p in paths if p.device is not None)
+        kinds = [e.kind for e in runner.degradations]
+        assert "cap-exhausted" in kinds
+        # The link coming back up does not refill the quota.
+        worker = runner.add_path(phone.name)
+        assert not worker.available
+        assert runner.degradations[-1].kind == "rejoin-vetoed"
+        result = runner.collect_result()
+        assert len(result.records) == 6
+        guard.finalize(result)
+        assert runner.rejoin_gate is None
+
+    def test_revoked_permit_vetoes_rejoin_while_congested(
+        self, quiet_location
+    ):
+        # The cell is calm at grant time and congested from the moment
+        # of revocation on: the gate's re-grant attempt is refused and
+        # the path stays out.
+        congested = {"now": False}
+        server = PermitServer(
+            utilization_fn=lambda cell, now: (
+                0.95 if congested["now"] else 0.1
+            )
+        )
+        session = OnloadSession.for_location(
+            quiet_location,
+            n_phones=1,
+            seed=1,
+            mode=OperatingMode.NETWORK_INTEGRATED,
+            permit_server=server,
+        )
+        phone_name = session.household.phones[0].name
+
+        def revoke_and_congest():
+            congested["now"] = True
+            server.revoke(phone_name)
+
+        session.network.schedule(1.0, revoke_and_congest)
+        runner, guard, paths = self.run_guarded(session)
+        phone = next(p for p in paths if p.device is not None)
+        assert "permit-revoked" in [e.kind for e in runner.degradations]
+        worker = runner.add_path(phone.name)
+        assert not worker.available
+        assert runner.degradations[-1].kind == "rejoin-vetoed"
+
+    def test_calm_cell_re_grants_and_path_rejoins(self, quiet_location):
+        # Inverse control: same revocation, but the cell stays calm, so
+        # the gate obtains a fresh permit and the re-join goes through.
+        server = PermitServer(utilization_fn=lambda cell, now: 0.1)
+        session = OnloadSession.for_location(
+            quiet_location,
+            n_phones=1,
+            seed=1,
+            mode=OperatingMode.NETWORK_INTEGRATED,
+            permit_server=server,
+        )
+        phone_name = session.household.phones[0].name
+        session.network.schedule(1.0, lambda: server.revoke(phone_name))
+        runner, guard, paths = self.run_guarded(session)
+        phone = next(p for p in paths if p.device is not None)
+        worker = runner.add_path(phone.name)
+        assert worker.available
+        assert runner.degradations[-1].kind == "path-rejoin"
+        assert server.has_valid_permit(
+            phone.device.name, session.network.time
+        )

@@ -132,6 +132,95 @@ class TestAddPath:
         assert runner.degradations == []
 
 
+class TestGracefulLeave:
+    """A drained path's private queue migrates; vetoed re-joins stay out."""
+
+    @pytest.mark.parametrize("policy", ["RR", "MIN"])
+    def test_drain_settle_migrates_static_queues(self, policy):
+        # Static policies pre-commit items to per-path queues. A drain
+        # lets the in-flight copy *finish*, so no failure hook ever runs
+        # — the queued items must migrate when the drain settles, or the
+        # transaction strands with the engine dry.
+        network, paths, runner, txn = make_setup(
+            [mbps(4), mbps(4)], [500_000.0] * 8, policy,
+            retry_policy=IMMEDIATE_RETRY,
+        )
+        runner.start(txn)
+        network.schedule(
+            1.5,
+            lambda: runner.remove_path(
+                "p1", drain=True, kind="cap-exhausted"
+            ),
+        )
+        drive(network, runner)
+        assert runner.finished
+        result = runner.collect_result()
+        assert len(result.records) == 8
+        # Nothing new started on the drained path after it settled.
+        settle = max(
+            r.completed_at
+            for r in result.records.values()
+            if r.path_name == "p1"
+        )
+        late_p1 = [
+            r
+            for r in result.records.values()
+            if r.path_name == "p1" and r.completed_at > settle
+        ]
+        assert late_p1 == []
+
+    def test_authority_removal_between_copies_migrates_queue(self):
+        # How TransferGuard actually drains on cap exhaustion: from the
+        # completion callback, when the worker is momentarily idle. No
+        # copy is in flight, so the removal disables the worker on the
+        # spot — its queue must migrate right there.
+        network, paths, runner, txn = make_setup(
+            [mbps(4), mbps(4)], [500_000.0] * 8, "RR",
+            retry_policy=IMMEDIATE_RETRY,
+        )
+
+        def on_complete(record):
+            if record.path_name == "p1":
+                runner.remove_path(
+                    "p1", drain=True, kind="cap-exhausted"
+                )
+
+        runner.on_item_complete = on_complete
+        runner.start(txn)
+        drive(network, runner)
+        assert runner.finished
+        result = runner.collect_result()
+        assert len(result.records) == 8
+        on_p1 = [
+            r for r in result.records.values() if r.path_name == "p1"
+        ]
+        assert len(on_p1) == 1
+
+    def test_rejoin_gate_vetoes_and_records(self):
+        network, paths, runner, txn = make_setup(
+            [mbps(4), mbps(4)], [1 * MB] * 4
+        )
+        runner.rejoin_gate = lambda path, now: False
+        runner.start(txn)
+        runner.remove_path("p1", kind="permit-revoked")
+        worker = runner.add_path("p1")
+        assert not worker.available
+        assert runner.degradations[-1].kind == "rejoin-vetoed"
+        assert runner.degradations[-1].path_name == "p1"
+        assert runner.active_path_names == ["p0"]
+
+    def test_rejoin_gate_pass_re_enables(self):
+        network, paths, runner, txn = make_setup(
+            [mbps(4), mbps(4)], [1 * MB] * 4
+        )
+        runner.rejoin_gate = lambda path, now: True
+        runner.start(txn)
+        runner.remove_path("p1", kind="permit-revoked")
+        worker = runner.add_path("p1")
+        assert worker.available
+        assert runner.degradations[-1].kind == "path-rejoin"
+
+
 class TestRetryPolicy:
     def test_backoff_schedule(self):
         policy = RetryPolicy(
