@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.obs.capture import Instrumentation, current as obs_current
 from repro.util.validate import check_fraction, check_positive
@@ -154,6 +154,6 @@ class PermitServer:
             listener(device_name)
         return True
 
-    def revoke_cell(self, device_names) -> int:
+    def revoke_cell(self, device_names: Iterable[str]) -> int:
         """Revoke every listed device (a whole congested cell); returns count."""
         return sum(1 for name in device_names if self.revoke(name))

@@ -15,8 +15,9 @@ player stalls until the segment arrives (a rebuffering event).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.scheduler.runner import TransactionResult
 from repro.web.hls import HlsPlaylist
 
 
@@ -102,7 +103,9 @@ class PlayoutSimulator:
         )
 
 
-def completion_times_from_result(result, epoch: float = None) -> Dict[str, float]:
+def completion_times_from_result(
+    result: TransactionResult, epoch: Optional[float] = None
+) -> Dict[str, float]:
     """Extract segment completion times from a TransactionResult.
 
     Times are re-based to the transaction start (or ``epoch``) so the

@@ -24,6 +24,7 @@ from repro.core.mobile import MobileComponent, OperatingMode
 from repro.core.permits import PermitServer
 from repro.core.proxy import HlsAwareProxy, VideoDownloadReport
 from repro.core.resilience import TransferGuard
+from repro.core.scheduler.runner import TransactionResult
 from repro.core.uploader import MultipartUploader, UploadReport
 from repro.netsim.cellular import CellularDevice
 from repro.netsim.path import NetworkPath
@@ -152,7 +153,9 @@ class OnloadSession:
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
-    def _meter_cellular(self, result, paths: Sequence[NetworkPath]) -> None:
+    def _meter_cellular(
+        self, result: TransactionResult, paths: Sequence[NetworkPath]
+    ) -> None:
         now = self.network.time
         for path in paths:
             if not path.is_cellular:

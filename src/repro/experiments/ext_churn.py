@@ -39,6 +39,7 @@ from repro.core.scheduler.runner import TransactionResult
 from repro.experiments.formatting import fmt, render_table
 from repro.experiments.registry import experiment, jsonable
 from repro.netsim.faults import FaultSchedule, PathFlapProcess, RadioDropProcess
+from repro.netsim.path import NetworkPath
 from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
 from repro.util.stats import RunningStats
 from repro.util.units import mbps
@@ -136,7 +137,7 @@ class ChurnResult:
 
 
 def _build_schedule(
-    paths, intensity: float, seed: int
+    paths: Sequence[NetworkPath], intensity: float, seed: int
 ) -> FaultSchedule:
     """Seeded churn for every phone path (the wired path stays up)."""
     schedule = FaultSchedule()

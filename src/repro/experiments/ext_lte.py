@@ -14,7 +14,7 @@ times plus the time the phones spend occupying the cellular network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.items import Transaction, TransferItem
 from repro.core.scheduler import TransactionRunner, make_policy
@@ -106,7 +106,7 @@ def _run_one(
     params: HspaParameters,
     rrc: RrcParameters,
     n_phones: int,
-    seeds,
+    seeds: Sequence[int],
 ) -> Tuple[RunningStats, RunningStats, RunningStats]:
     video = make_bipbop_video()
     playlist = video.playlist("Q4")
@@ -164,7 +164,7 @@ def _run_one(
     quick_params={"seeds": (0,)},
     order=180,
 )
-def run(seeds=(0, 1, 2, 3)) -> LteComparisonResult:
+def run(seeds: Sequence[int] = (0, 1, 2, 3)) -> LteComparisonResult:
     """Compare ADSL alone, HSPA 3GOL and LTE 3GOL."""
     adsl_totals, adsl_prebuffers, _ = _run_one(
         HspaParameters(), RrcParameters(), n_phones=0, seeds=seeds

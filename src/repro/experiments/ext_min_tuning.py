@@ -19,10 +19,10 @@ value leaves MIN well behind GRD.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from repro.core.items import Transaction, TransferItem
-from repro.core.scheduler import TransactionRunner
+from repro.core.scheduler import SchedulingPolicy, TransactionRunner
 from repro.core.scheduler.greedy import GreedyPolicy
 from repro.core.scheduler.mintime import MinTimePolicy
 from repro.experiments.fig06_scheduler import TESTBED_LOCATION
@@ -108,7 +108,7 @@ def run(
         for s in playlist.segments
     ]
 
-    def measure(policy_factory) -> float:
+    def measure(policy_factory: Callable[[], SchedulingPolicy]) -> float:
         stats = RunningStats()
         for seed in range(repetitions):
             household = Household(

@@ -66,7 +66,9 @@ class DuplicateExperimentError(RegistryError):
 class UnknownExperimentError(RegistryError):
     """Lookup of an id nothing registered."""
 
-    def __init__(self, experiment_id: str, available: Tuple[str, ...]):
+    def __init__(
+        self, experiment_id: str, available: Tuple[str, ...]
+    ) -> None:
         self.experiment_id = experiment_id
         self.available = available
         super().__init__(

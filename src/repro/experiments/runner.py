@@ -130,7 +130,7 @@ class ResultCache:
     read again and old files can be deleted at will.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    def __init__(self, root: Optional[os.PathLike[str]] = None) -> None:
         self.root = Path(
             root
             if root is not None

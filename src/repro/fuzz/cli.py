@@ -25,6 +25,7 @@ from repro.util.clitools import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_USAGE,
+    add_format_argument,
     cli_error,
     render_json_payload,
 )
@@ -64,12 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="fuzz only this target (repeatable; default: all)",
     )
-    parser.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="report format (default: text)",
-    )
+    add_format_argument(parser)
     parser.add_argument(
         "--list-targets",
         action="store_true",

@@ -35,6 +35,7 @@ from repro.hunt.session import HuntReport, HuntSession
 from repro.util.clitools import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
+    add_format_argument,
     cli_error,
     render_json_payload,
 )
@@ -74,12 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="IDS",
         help="comma-separated oracle ids to check (default: all)",
     )
-    run.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="report format (default: text)",
-    )
+    add_format_argument(run)
 
     replay = sub.add_parser(
         "replay",

@@ -6,17 +6,18 @@ Usage::
     repro-lint src/ --format json        # CI-friendly payload
     repro-lint src/ --select RL001,RL004 # run a subset
     repro-lint src/ --ignore RL005
+    repro-lint src/ --warn-unused-suppressions
     repro-lint --list-rules
 
 Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule, missing
-path).
+path) — the shared :mod:`repro.util.clitools` contract.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.lint.core import UnknownRuleError, lint_paths, select_rules
 from repro.lint.reporters import render_json, render_rule_list, render_text
@@ -24,25 +25,23 @@ from repro.util.clitools import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
     EXIT_USAGE,
+    add_format_argument,
     cli_error,
+    split_codes,
 )
 
 __all__ = ["main"]
 
 
-def _split_codes(value: Optional[str]) -> List[str]:
-    if not value:
-        return []
-    return [code.strip() for code in value.split(",") if code.strip()]
-
-
 def build_parser() -> argparse.ArgumentParser:
+    """The repro-lint argument parser (shared clitools conventions)."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
             "AST-based invariant checker for the 3GOL reproduction "
             "(determinism, units, registry contract, exception hygiene, "
-            "float equality, wire-error taxonomy)."
+            "float equality, wire-error taxonomy, and the cross-module "
+            "seed/obs/authority/escape analyses)."
         ),
     )
     parser.add_argument(
@@ -50,12 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files or directories to lint (directories recurse *.py)",
     )
-    parser.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="report format (default: text)",
-    )
+    add_format_argument(parser)
     parser.add_argument(
         "--select",
         metavar="CODES",
@@ -67,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--warn-unused-suppressions",
+        action="store_true",
+        help=(
+            "flag `# repro-lint: disable=` comments that no longer "
+            "suppress anything (reported as RL099)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every registered rule and exit",
@@ -75,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run repro-lint; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
@@ -85,13 +88,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cli_error("repro-lint", "no paths given")
     try:
         rules = select_rules(
-            select=_split_codes(args.select),
-            ignore=_split_codes(args.ignore),
+            select=split_codes(args.select),
+            ignore=split_codes(args.ignore),
         )
     except UnknownRuleError as exc:
         return cli_error("repro-lint", str(exc))
     try:
-        run = lint_paths(args.paths, rules=rules)
+        run = lint_paths(
+            args.paths,
+            rules=rules,
+            warn_unused_suppressions=args.warn_unused_suppressions,
+        )
     except OSError as exc:
         return cli_error("repro-lint", str(exc))
     if args.format == "json":

@@ -25,15 +25,18 @@ from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -41,12 +44,16 @@ from typing import (
     Type,
 )
 
+if TYPE_CHECKING:
+    from repro.lint.project import ProjectContext
+
 __all__ = [
     "DuplicateRuleError",
     "Finding",
     "LintError",
     "LintRun",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "UnknownRuleError",
     "all_rules",
@@ -54,6 +61,8 @@ __all__ = [
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "module_root",
     "parse_suppressions",
     "repro_relative_parts",
     "rule",
@@ -62,6 +71,8 @@ __all__ = [
 
 #: Code used for files the engine cannot parse at all.
 PARSE_ERROR_CODE = "RL000"
+#: Code used for `--warn-unused-suppressions` findings.
+UNUSED_SUPPRESSION_CODE = "RL099"
 
 
 class LintError(Exception):
@@ -75,7 +86,7 @@ class DuplicateRuleError(LintError):
 class UnknownRuleError(LintError):
     """Lookup or selection of a code nothing registered."""
 
-    def __init__(self, code: str, available: Tuple[str, ...]):
+    def __init__(self, code: str, available: Tuple[str, ...]) -> None:
         self.code = code
         self.available = available
         super().__init__(
@@ -119,6 +130,10 @@ class ModuleContext:
     #: when the file is not under a ``repro`` directory); rules use this
     #: for scoping so the checker behaves the same from any CWD.
     rel_parts: Tuple[str, ...] = ()
+    #: For files outside the ``repro`` package: the top-level tree they
+    #: belong to (``"tests"`` / ``"benchmarks"``), else ``""``. Rules
+    #: that run over the test suite scope on this.
+    root: str = ""
 
     def finding(
         self, code: str, message: str, node: ast.AST
@@ -148,6 +163,12 @@ class Rule:
     title: str = ""
     #: Why the invariant matters for the reproduction.
     rationale: str = ""
+    #: Human-readable scope (packages/paths the rule runs over),
+    #: surfaced by ``--list-rules`` and the README catalogue.
+    scope: str = ""
+    #: Project-level rules run once over the whole tree instead of
+    #: per module; see :class:`ProjectRule`.
+    project_level: bool = False
 
     def applies_to(self, context: ModuleContext) -> bool:
         """Whether this rule runs on the module at all (path scoping)."""
@@ -155,6 +176,31 @@ class Rule:
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         """Yield every violation found in ``context.tree``."""
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that queries the whole-tree :class:`ProjectContext`.
+
+    Project rules run once per lint invocation, after every module has
+    been parsed, and see the cross-module symbol table, call graph and
+    function summaries built by :mod:`repro.lint.project`. Their
+    findings still anchor to a file/line and still honour that line's
+    ``# repro-lint: disable=`` suppressions.
+    """
+
+    project_level = True
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        """Project rules never run in the per-module pass."""
+        return False
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Project rules have no per-module check."""
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield every violation found across the project."""
         raise NotImplementedError
 
 
@@ -177,6 +223,7 @@ def rule(cls: Type[Rule]) -> Type[Rule]:
 def _ensure_rules_loaded() -> None:
     # Import-driven registration, like the experiment registry: the
     # domain rules register when their module is first imported.
+    import repro.lint.project_rules  # noqa: F401
     import repro.lint.rules  # noqa: F401
 
 
@@ -277,9 +324,50 @@ def repro_relative_parts(path: str) -> Tuple[str, ...]:
     return ()
 
 
+def module_root(path: str) -> str:
+    """``"tests"`` / ``"benchmarks"`` for files under those trees.
+
+    Only meaningful for files *not* under a ``repro`` directory (the
+    package's own files scope via :func:`repro_relative_parts`); any
+    other non-repro file returns ``""``.
+    """
+    parts = Path(path).parts
+    if "repro" in parts:
+        return ""
+    for part in parts:
+        if part in ("tests", "benchmarks"):
+            return part
+    return ""
+
+
 # ---------------------------------------------------------------------------
 # Engine
 # ---------------------------------------------------------------------------
+
+
+def _parse_context(
+    source: str, path: str
+) -> Tuple[Optional[ModuleContext], Optional[Finding]]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            code=PARSE_ERROR_CODE,
+            message=f"cannot parse: {exc.msg}",
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+        )
+    return (
+        ModuleContext(
+            path=path,
+            source=source,
+            tree=tree,
+            rel_parts=repro_relative_parts(path),
+            root=module_root(path),
+        ),
+        None,
+    )
 
 
 def lint_source(
@@ -287,29 +375,20 @@ def lint_source(
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
-    """Run ``rules`` (default: all registered) over one module's source."""
+    """Run ``rules`` (default: all registered) over one module's source.
+
+    Project-level rules are skipped here — a single module has no
+    project; use :func:`lint_paths` or :func:`lint_sources` for those.
+    """
     active = tuple(rules) if rules is not None else all_rules()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                code=PARSE_ERROR_CODE,
-                message=f"cannot parse: {exc.msg}",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-            )
-        ]
-    context = ModuleContext(
-        path=path,
-        source=source,
-        tree=tree,
-        rel_parts=repro_relative_parts(path),
-    )
+    context, parse_error = _parse_context(source, path)
+    if context is None:
+        return [parse_error] if parse_error is not None else []
     suppressions = parse_suppressions(source)
     findings: List[Finding] = []
     for active_rule in active:
+        if active_rule.project_level:
+            continue
         if not active_rule.applies_to(context):
             continue
         for finding in active_rule.check(context):
@@ -335,6 +414,11 @@ class LintRun:
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: Wall-clock seconds spent per rule code (project rules included;
+    #: the shared project-graph build is the ``"project-graph"`` key).
+    rule_timings: Dict[str, float] = field(default_factory=dict)
+    #: Total wall-clock seconds for the whole run.
+    duration_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -349,20 +433,164 @@ class LintRun:
         return dict(sorted(counts.items()))
 
 
+class _SuppressionLedger:
+    """Which suppression comments actually suppressed something."""
+
+    def __init__(self) -> None:
+        #: path -> {line: comment codes (None = blanket)}
+        self.declared: Dict[str, Dict[int, Optional[Set[str]]]] = {}
+        #: path -> {line: codes that matched a finding there}
+        self.used: Dict[str, Dict[int, Set[str]]] = {}
+
+    def declare(
+        self, path: str, suppressions: Dict[int, Optional[Set[str]]]
+    ) -> None:
+        self.declared[path] = suppressions
+
+    def filter(self, finding: Finding) -> bool:
+        """True (and record the hit) when ``finding`` is suppressed."""
+        suppressions = self.declared.get(finding.path, {})
+        if not _suppressed(finding, suppressions):
+            return False
+        self.used.setdefault(finding.path, {}).setdefault(
+            finding.line, set()
+        ).add(finding.code)
+        return True
+
+    def unused_findings(
+        self, active: Sequence[Rule]
+    ) -> Iterator[Finding]:
+        """RL099 findings for comments that suppressed nothing.
+
+        A coded suppression is only judged when its rule actually ran;
+        a blanket ``disable`` is only judged when the *full* registry
+        ran (any narrower selection could be what it exists for).
+        """
+        active_codes = {r.code for r in active}
+        full_run = active_codes >= {r.code for r in all_rules()}
+        for path in sorted(self.declared):
+            for line, codes in sorted(self.declared[path].items()):
+                used_here = self.used.get(path, {}).get(line, set())
+                if codes is None:
+                    if full_run and not used_here:
+                        yield Finding(
+                            code=UNUSED_SUPPRESSION_CODE,
+                            message=(
+                                "blanket `# repro-lint: disable` "
+                                "suppresses nothing on this line; "
+                                "delete it"
+                            ),
+                            path=path,
+                            line=line,
+                        )
+                    continue
+                for code in sorted(codes):
+                    if code in active_codes and code not in used_here:
+                        yield Finding(
+                            code=UNUSED_SUPPRESSION_CODE,
+                            message=(
+                                f"suppression for {code} matches no "
+                                "finding on this line; delete it"
+                            ),
+                            path=path,
+                            line=line,
+                        )
+
+
+def _lint_modules(
+    items: Iterable[Tuple[str, str]],
+    rules: Optional[Sequence[Rule]] = None,
+    on_file: Optional[Callable[[Path], None]] = None,
+    warn_unused_suppressions: bool = False,
+) -> LintRun:
+    started = time.perf_counter()
+    active = tuple(rules) if rules is not None else all_rules()
+    module_rules = tuple(r for r in active if not r.project_level)
+    project_rules = tuple(r for r in active if r.project_level)
+    run = LintRun()
+    ledger = _SuppressionLedger()
+    contexts: List[ModuleContext] = []
+    timings: Dict[str, float] = {}
+    for path, source in items:
+        if on_file is not None:
+            on_file(Path(path))
+        run.files_checked += 1
+        context, parse_error = _parse_context(source, path)
+        if context is None:
+            if parse_error is not None:
+                run.findings.append(parse_error)
+            continue
+        contexts.append(context)
+        ledger.declare(path, parse_suppressions(source))
+        for active_rule in module_rules:
+            rule_started = time.perf_counter()
+            if active_rule.applies_to(context):
+                for finding in active_rule.check(context):
+                    if not ledger.filter(finding):
+                        run.findings.append(finding)
+            timings[active_rule.code] = (
+                timings.get(active_rule.code, 0.0)
+                + time.perf_counter()
+                - rule_started
+            )
+    if project_rules and contexts:
+        from repro.lint.project import ProjectContext
+
+        build_started = time.perf_counter()
+        project = ProjectContext.from_contexts(contexts)
+        timings["project-graph"] = time.perf_counter() - build_started
+        for active_rule in project_rules:
+            rule_started = time.perf_counter()
+            for finding in active_rule.check_project(project):
+                if not ledger.filter(finding):
+                    run.findings.append(finding)
+            timings[active_rule.code] = (
+                timings.get(active_rule.code, 0.0)
+                + time.perf_counter()
+                - rule_started
+            )
+    if warn_unused_suppressions:
+        # Meta-findings bypass the suppression filter: a blanket
+        # `disable` must not be able to silence the warning that it is
+        # itself dead.
+        run.findings.extend(ledger.unused_findings(active))
+    run.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    run.rule_timings = dict(sorted(timings.items()))
+    run.duration_s = time.perf_counter() - started
+    return run
+
+
 def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     on_file: Optional[Callable[[Path], None]] = None,
+    warn_unused_suppressions: bool = False,
 ) -> LintRun:
     """Lint every Python file under ``paths``."""
-    run = LintRun()
-    for file_path in iter_python_files(paths):
-        if on_file is not None:
-            on_file(file_path)
-        run.files_checked += 1
-        source = file_path.read_text(encoding="utf-8")
-        run.findings.extend(
-            lint_source(source, path=str(file_path), rules=rules)
-        )
-    run.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return run
+    return _lint_modules(
+        (
+            (str(file_path), file_path.read_text(encoding="utf-8"))
+            for file_path in iter_python_files(paths)
+        ),
+        rules=rules,
+        on_file=on_file,
+        warn_unused_suppressions=warn_unused_suppressions,
+    )
+
+
+def lint_sources(
+    files: Mapping[str, str],
+    rules: Optional[Sequence[Rule]] = None,
+    warn_unused_suppressions: bool = False,
+) -> LintRun:
+    """Lint an in-memory set of modules (path -> source).
+
+    The project-level rules see all of ``files`` as one tree, exactly
+    as :func:`lint_paths` would — this is the fixture entry point for
+    multi-module tests.
+    """
+    return _lint_modules(
+        sorted(files.items()),
+        rules=rules,
+        warn_unused_suppressions=warn_unused_suppressions,
+    )

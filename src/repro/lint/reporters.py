@@ -2,17 +2,19 @@
 
 Both render a :class:`~repro.lint.core.LintRun` deterministically
 (findings are already sorted by path/line/col/code), so CI diffs are
-stable run to run.
+stable run to run. Wall-clock timings are the one nondeterministic
+field: CI consumes them for the lint-budget assertion, diffs should
+ignore them.
 """
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict
 
 from repro.lint.core import LintRun, all_rules
+from repro.util.clitools import render_json_payload
 
-__all__ = ["render_json", "render_text", "run_payload"]
+__all__ = ["render_json", "render_rule_list", "render_text", "run_payload"]
 
 
 def render_text(run: LintRun) -> str:
@@ -39,20 +41,29 @@ def run_payload(run: LintRun) -> Dict[str, Any]:
             "by_rule": run.by_rule(),
             "ok": run.ok,
         },
+        "timing": {
+            "duration_s": round(run.duration_s, 6),
+            "per_rule_s": {
+                code: round(seconds, 6)
+                for code, seconds in run.rule_timings.items()
+            },
+        },
     }
 
 
 def render_json(run: LintRun) -> str:
-    """``--format json`` output (sorted keys, trailing newline-free)."""
-    return json.dumps(run_payload(run), indent=2, sort_keys=True)
+    """``--format json`` output via the shared clitools rendering."""
+    return render_json_payload(run_payload(run))
 
 
 def render_rule_list() -> str:
-    """``--list-rules`` output: code, title and rationale per rule."""
+    """``--list-rules`` output: code, title, scope and rationale."""
     blocks = []
     for lint_rule in all_rules():
+        kind = "project" if lint_rule.project_level else "module"
         blocks.append(
-            f"{lint_rule.code}  {lint_rule.title}\n"
+            f"{lint_rule.code}  {lint_rule.title}  [{kind}]\n"
+            f"       scope: {lint_rule.scope}\n"
             f"       {lint_rule.rationale}"
         )
     return "\n".join(blocks)

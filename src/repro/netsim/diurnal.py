@@ -12,7 +12,7 @@ free-capacity modulation of cellular links in the throughput experiments.
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence, Union
+from typing import Callable, Sequence, Tuple, Union
 
 import numpy as np
 from numpy.typing import NDArray
@@ -130,7 +130,11 @@ def _bump(hour: float, center: float, width: float) -> float:
     return math.exp(-0.5 * (delta / width) ** 2)
 
 
-def _build(name: str, base: float, bumps) -> DiurnalProfile:
+def _build(
+    name: str,
+    base: float,
+    bumps: Sequence[Tuple[float, float, float]],
+) -> DiurnalProfile:
     hourly = []
     for hour in range(_HOURS_PER_DAY):
         value = base

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Sequence, Tuple
+from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 from repro.netsim.stochastic import CapacityProcess
 from repro.util.validate import check_non_negative
@@ -110,7 +110,7 @@ class StochasticLink(Link):
         name: str,
         base_bps: float,
         process: CapacityProcess,
-        modulation=None,
+        modulation: Optional[Callable[[float], float]] = None,
         modulation_interval: float = 300.0,
     ) -> None:
         super().__init__(name, base_bps)
@@ -147,7 +147,9 @@ class StochasticLink(Link):
         return next_change
 
 
-def effective_chain_capacity(links, time: float) -> float:
+def effective_chain_capacity(
+    links: Iterable["Link"], time: float
+) -> float:
     """Capacity of a chain of links for a single flow at ``time``.
 
     A lone flow on a series chain gets the minimum link capacity; used for
@@ -162,7 +164,7 @@ def effective_chain_capacity(links, time: float) -> float:
     return capacity
 
 
-def validate_chain(links) -> Tuple["Link", ...]:
+def validate_chain(links: Iterable[object]) -> Tuple["Link", ...]:
     """Validate and freeze a link chain; chains must be non-empty."""
     chain = tuple(links)
     if not chain:

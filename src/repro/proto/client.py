@@ -27,7 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.items import Transaction
+from repro.core.items import Transaction, TransferItem
 from repro.core.resilience import DegradationLog
 from repro.core.scheduler.base import PathWorker, SchedulingPolicy
 from repro.netsim.link import Link
@@ -408,7 +408,7 @@ class PrototypeClient:
         endpoint: _Endpoint,
         method: str,
         host: str,
-        item,
+        item: TransferItem,
         upload_path: str,
     ) -> int:
         """One GET or POST over the endpoint's persistent connection."""

@@ -92,7 +92,7 @@ class MobileProxy:
     def __enter__(self) -> "MobileProxy":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
     @property

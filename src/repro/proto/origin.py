@@ -74,7 +74,7 @@ class LoopbackOrigin:
     def __enter__(self) -> "LoopbackOrigin":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ the granularity the prototype is evaluated at).
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 from typing import Callable, Optional
@@ -86,7 +87,9 @@ class TokenBucket:
             self.rate = float(rate_bytes_per_s)
 
 
-def shaped_send(sock, data: bytes, bucket: Optional[TokenBucket]) -> None:
+def shaped_send(
+    sock: socket.socket, data: bytes, bucket: Optional[TokenBucket]
+) -> None:
     """Send ``data`` over ``sock``, pacing through ``bucket`` if given."""
     view = memoryview(data)
     offset = 0

@@ -11,9 +11,10 @@ flows, and reports per-device and aggregate throughput samples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.netsim.fluid import Flow, FluidNetwork
+from repro.netsim.path import NetworkPath
 from repro.netsim.topology import Household, HouseholdConfig, LocationProfile
 from repro.util.units import MB, transfer_rate
 
@@ -42,13 +43,13 @@ class MeasurementSample:
 
 
 def _run_concurrent_transfers(
-    network: FluidNetwork, paths, file_bytes: float
+    network: FluidNetwork, paths: Sequence[NetworkPath], file_bytes: float
 ) -> List[float]:
     """Start one transfer per path simultaneously; return durations."""
     durations: List[Optional[float]] = [None] * len(paths)
     start = network.time
 
-    def make_callback(index: int):
+    def make_callback(index: int) -> Callable[[Flow, float], None]:
         def complete(flow: Flow, now: float) -> None:
             durations[index] = now - start
 

@@ -17,16 +17,19 @@ drift apart; each CLI re-exports the constants for its tests.
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
-from typing import Any
+from typing import Any, List, Optional
 
 __all__ = [
     "EXIT_CLEAN",
     "EXIT_FINDINGS",
     "EXIT_USAGE",
+    "add_format_argument",
     "cli_error",
     "render_json_payload",
+    "split_codes",
 ]
 
 #: The tool ran and found nothing to report.
@@ -46,6 +49,32 @@ def cli_error(prog: str, message: str, code: int = EXIT_USAGE) -> int:
     """
     print(f"{prog}: error: {message}", file=sys.stderr)
     return code
+
+
+def add_format_argument(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--format text|json`` option on ``parser``.
+
+    Every ``repro-*`` tool spells this option identically; defining it
+    here keeps the choices, default and help text from drifting.
+    """
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+
+
+def split_codes(value: Optional[str]) -> List[str]:
+    """Parse a comma-separated code list (``"RL001, RL004"``).
+
+    Empty input and stray commas yield an empty list / are dropped, so
+    ``--select`` / ``--ignore`` style options can pass their raw string
+    straight through.
+    """
+    if not value:
+        return []
+    return [code.strip() for code in value.split(",") if code.strip()]
 
 
 def render_json_payload(payload: Any) -> str:

@@ -294,7 +294,12 @@ def parse_m3u8(
                     raise PlaylistError(
                         f"segment {line!r} has no #X-SIZE and no quality hint"
                     )
-                size = quality.segment_bytes(duration)
+                try:
+                    size = quality.segment_bytes(duration)
+                except ValueError as exc:
+                    raise PlaylistError(
+                        f"segment {line!r} has invalid duration: {exc}"
+                    ) from exc
             if len(segments) >= MAX_PLAYLIST_SEGMENTS:
                 raise PlaylistError(
                     f"playlist exceeds {MAX_PLAYLIST_SEGMENTS} segments"
@@ -314,11 +319,16 @@ def parse_m3u8(
     if not segments:
         raise PlaylistError("playlist contains no segments")
     if quality is None:
-        mean_bitrate = transfer_rate(
-            sum(s.size_bytes for s in segments),
-            sum(s.duration_s for s in segments),
-        )
-        quality = VideoQuality("parsed", mean_bitrate)
+        try:
+            # Per-segment values are validated, but their *sums* can
+            # still overflow to inf on a hostile playlist.
+            mean_bitrate = transfer_rate(
+                sum(s.size_bytes for s in segments),
+                sum(s.duration_s for s in segments),
+            )
+            quality = VideoQuality("parsed", mean_bitrate)
+        except ValueError as exc:
+            raise PlaylistError(f"inconsistent playlist: {exc}") from exc
     try:
         return HlsPlaylist(video_name, quality, segments)
     except ValueError as exc:

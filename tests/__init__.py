@@ -1,0 +1,1 @@
+"""Tier-1 test suite: pins the reproduction's behaviour and invariants."""

@@ -65,6 +65,32 @@ class TestTraceSchemaDoc:
         assert f"**{schema.SCHEMA_VERSION}**" in doc
 
 
+class TestLintCatalogueDoc:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+
+    def test_rule_table_matches_generated(self, readme):
+        """The README's rule catalogue is byte-for-byte the generated one.
+
+        Same pattern as the trace-schema tables: a new rule, a changed
+        scope or a new suppression regenerates the table, and this pin
+        forces the README to follow.
+        """
+        from repro.lint.catalogue import count_suppressions, rule_table
+
+        table = rule_table(
+            count_suppressions([str(REPO_ROOT / "src")])
+        )
+        assert table in readme
+
+    def test_every_rule_code_documented(self, readme):
+        from repro.lint import all_rules
+
+        for registered in all_rules():
+            assert registered.code in readme
+
+
 class TestArchitectureDoc:
     @pytest.fixture(scope="class")
     def doc(self):

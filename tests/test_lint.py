@@ -1,9 +1,11 @@
-"""repro-lint: the engine, the six RL rules, reporters and the CLI.
+"""repro-lint: the engine, the module-level rules, reporters and the CLI.
 
 Each rule is exercised on small fixture modules with synthetic
 ``repro/...`` paths (scoping works on the parts after the last ``repro``
 directory), and the suite ends with the gate the CI job relies on: the
-real ``src/`` tree must lint clean.
+real ``src/`` tree must lint clean. The project-level rules
+(RL008-RL011) and the call-graph machinery behind them live in
+``tests/test_lint_project.py``.
 """
 
 import json
@@ -54,6 +56,7 @@ class TestRegistry:
     def test_rules_registered_in_order(self):
         assert [r.code for r in all_rules()] == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL008", "RL009", "RL010", "RL011",
         ]
 
     def test_every_rule_has_title_and_rationale(self):
@@ -713,6 +716,97 @@ class TestCli:
         assert lint_main([str(tmp_path / "missing")]) == 2
 
 
+class TestSuppressionAudit:
+    """``--warn-unused-suppressions``: dead disable comments fail (RL099)."""
+
+    def _dead_suppression_file(self, tmp_path, comment):
+        source = f"x = 1  {comment}\n"
+        path = tmp_path / "repro" / "core" / "quiet.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(source, encoding="utf-8")
+        return path
+
+    def test_dead_coded_suppression_flagged(self, tmp_path):
+        path = self._dead_suppression_file(
+            tmp_path, "# repro-lint: disable=RL005"
+        )
+        run = lint_paths([str(path)], warn_unused_suppressions=True)
+        assert [f.code for f in run.findings] == ["RL099"]
+        assert "RL005" in run.findings[0].message
+
+    def test_dead_blanket_suppression_flagged(self, tmp_path):
+        # The blanket disable must not silence its own audit finding.
+        path = self._dead_suppression_file(tmp_path, "# repro-lint: disable")
+        run = lint_paths([str(path)], warn_unused_suppressions=True)
+        assert [f.code for f in run.findings] == ["RL099"]
+
+    def test_live_suppression_not_flagged(self, tmp_path):
+        path = tmp_path / "repro" / "core" / "clocky.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RL001\n",
+            encoding="utf-8",
+        )
+        run = lint_paths([str(path)], warn_unused_suppressions=True)
+        assert run.findings == []
+
+    def test_audit_off_by_default(self, tmp_path):
+        path = self._dead_suppression_file(
+            tmp_path, "# repro-lint: disable=RL005"
+        )
+        assert lint_paths([str(path)]).findings == []
+
+    def test_coded_suppression_judged_only_for_selected_rules(
+        self, tmp_path
+    ):
+        # A narrowed run cannot know whether an RL001 disable is live,
+        # so it must not call it dead.
+        path = self._dead_suppression_file(
+            tmp_path, "# repro-lint: disable=RL001"
+        )
+        run = lint_paths(
+            [str(path)],
+            rules=select_rules(select=["RL005"]),
+            warn_unused_suppressions=True,
+        )
+        assert run.findings == []
+
+    def test_cli_flag_exits_one_on_dead_suppression(self, tmp_path, capsys):
+        path = self._dead_suppression_file(
+            tmp_path, "# repro-lint: disable=RL005"
+        )
+        assert lint_main([str(path), "--warn-unused-suppressions"]) == 1
+        assert "RL099" in capsys.readouterr().out
+
+    def test_src_tree_suppressions_all_live(self):
+        # The audit the CI lint job runs: every justification comment in
+        # the shipped tree still matches a finding.
+        run = lint_paths(
+            [str(REPO_ROOT / "src")], warn_unused_suppressions=True
+        )
+        assert [f.location() for f in run.findings] == []
+
+
+class TestTimingPayload:
+    def test_run_records_per_rule_timings(self, tmp_path):
+        bad = _violating_file(tmp_path)
+        run = lint_paths([str(bad)])
+        assert run.duration_s > 0.0
+        assert "RL001" in run.rule_timings
+        # Project rules ran too: the shared graph build is timed.
+        assert "project-graph" in run.rule_timings
+
+    def test_json_payload_carries_timing_block(self, tmp_path):
+        bad = _violating_file(tmp_path)
+        payload = json.loads(render_json(lint_paths([str(bad)])))
+        timing = payload["timing"]
+        assert timing["duration_s"] >= 0.0
+        assert set(timing["per_rule_s"]) == set(
+            lint_paths([str(bad)]).rule_timings
+        )
+
+
 # ---------------------------------------------------------------------------
 # The gate CI enforces: the shipped tree lints clean.
 # ---------------------------------------------------------------------------
@@ -724,6 +818,16 @@ class TestCleanTreeGate:
         assert run.files_checked > 100
         offenders = [f.location() + " " + f.code for f in run.findings]
         assert offenders == []
+
+    def test_test_code_lints_clean_on_portable_subset(self):
+        # The CI lint job's second leg: tests/ and benchmarks/ under the
+        # rules that transfer to test code (RL004/RL005/RL007).
+        run = lint_paths(
+            [str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")],
+            rules=select_rules(select=["RL004", "RL005", "RL007"]),
+        )
+        assert run.files_checked > 30
+        assert [f.location() + " " + f.code for f in run.findings] == []
 
     def test_gate_catches_a_planted_violation(self, tmp_path):
         # The inverse control: the same gate fails when a violation
