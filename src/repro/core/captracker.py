@@ -13,6 +13,7 @@ discovery layer asks — *may this device advertise right now?*
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
@@ -26,7 +27,15 @@ _SECONDS_PER_DAY = 86_400.0
 
 @dataclass
 class CapTracker:
-    """Tracks 3GOL usage against a per-day budget, with daily reset."""
+    """Tracks 3GOL usage against a per-day budget, with daily reset.
+
+    Safe under concurrent mutation: the simulator meters from a single
+    engine thread, but the long-running onload service meters many
+    relay flows against one shared tracker at once, so every read and
+    write of the counters goes through an internal lock. The lock adds
+    no nondeterminism in sim mode — with one thread the interleaving is
+    unchanged.
+    """
 
     daily_budget_bytes: float
     #: Usage already metered today (bytes).
@@ -39,11 +48,12 @@ class CapTracker:
     def __post_init__(self) -> None:
         check_non_negative("daily_budget_bytes", self.daily_budget_bytes)
         check_non_negative("used_today_bytes", self.used_today_bytes)
-        # Instrumentation lives in instance attributes (not dataclass
-        # fields) so serializers walking `dataclasses.fields` never see
-        # the handle.
+        # Instrumentation and the lock live in instance attributes (not
+        # dataclass fields) so serializers walking `dataclasses.fields`
+        # never see the handles.
         self._obs: Optional["Instrumentation"] = None
         self._obs_device: str = ""
+        self._lock = threading.RLock()
 
     def bind_obs(
         self, obs: Optional["Instrumentation"], device: str = ""
@@ -67,8 +77,11 @@ class CapTracker:
 
     def available_bytes(self, now: float) -> float:
         """A(t): remaining 3GOL quota for the current day."""
-        self._roll(now)
-        return max(0.0, self.daily_budget_bytes - self.used_today_bytes)
+        with self._lock:
+            self._roll(now)
+            return max(
+                0.0, self.daily_budget_bytes - self.used_today_bytes
+            )
 
     def may_advertise(self, now: float) -> bool:
         """Paper rule: advertise iff A(t) > 0."""
@@ -82,21 +95,28 @@ class CapTracker:
         the prototype). The overshoot shows up in ``usage_by_day``.
         """
         check_non_negative("nbytes", nbytes)
-        self._roll(now)
-        self.used_today_bytes += nbytes
-        day = self.current_day
-        self.usage_by_day[day] = self.usage_by_day.get(day, 0.0) + nbytes
+        with self._lock:
+            self._roll(now)
+            self.used_today_bytes += nbytes
+            day = self.current_day
+            self.usage_by_day[day] = (
+                self.usage_by_day.get(day, 0.0) + nbytes
+            )
+            remaining = max(
+                0.0, self.daily_budget_bytes - self.used_today_bytes
+            )
         if self._obs is not None:
             self._obs.count(
                 "cap.metered_bytes", amount=nbytes, device=self._obs_device
             )
             self._obs.gauge(
                 "cap.available_bytes",
-                max(0.0, self.daily_budget_bytes - self.used_today_bytes),
+                remaining,
                 device=self._obs_device,
             )
 
     @property
     def total_used_bytes(self) -> float:
         """All 3GOL bytes ever metered by this tracker."""
-        return sum(self.usage_by_day.values())
+        with self._lock:
+            return sum(self.usage_by_day.values())

@@ -13,6 +13,7 @@ availability on the Wi-Fi network."
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -45,6 +46,14 @@ class PermitServer:
     ``utilization_fn(cell_name, now) -> fraction`` is the interface to the
     operator's network monitoring system; experiments plug in a diurnal
     profile or a live measurement from the simulator.
+
+    Safe under concurrent mutation: the permit table, counters and
+    listener list are lock-guarded so the long-running onload service
+    can grant/revoke from many threads against one shared server.
+    Revocation listeners fire *outside* the lock (on a snapshot of the
+    list) so a listener that re-enters the server cannot deadlock it.
+    Single-threaded sim runs are unaffected — the interleaving is
+    unchanged.
     """
 
     def __init__(
@@ -63,6 +72,7 @@ class PermitServer:
         self.permit_ttl = check_positive("permit_ttl", permit_ttl)
         self._permits: Dict[str, Permit] = {}
         self._revocation_listeners: List[Callable[[str], None]] = []
+        self._lock = threading.RLock()
         #: Grant/deny counters for observability.
         self.granted_count = 0
         self.denied_count = 0
@@ -77,10 +87,11 @@ class PermitServer:
         (the prototype's backend pushes the revocation to the device).
         Returns an unsubscribe callable; unsubscribing twice is a no-op.
         """
-        self._revocation_listeners.append(callback)
+        with self._lock:
+            self._revocation_listeners.append(callback)
 
         def unsubscribe() -> None:
-            with contextlib.suppress(ValueError):
+            with self._lock, contextlib.suppress(ValueError):
                 self._revocation_listeners.remove(callback)
 
         return unsubscribe
@@ -94,63 +105,67 @@ class PermitServer:
         cell's utilisation is under the acceptance threshold; ``None`` on
         denial.
         """
-        existing = self._permits.get(device_name)
-        if existing is not None and existing.is_valid(now):
-            return existing
-        utilization = check_fraction(
-            "utilization", self.utilization_fn(cell_name, now)
-        )
-        if utilization >= self.acceptance_threshold:
-            self.denied_count += 1
+        with self._lock:
+            existing = self._permits.get(device_name)
+            if existing is not None and existing.is_valid(now):
+                return existing
+            utilization = check_fraction(
+                "utilization", self.utilization_fn(cell_name, now)
+            )
+            if utilization >= self.acceptance_threshold:
+                self.denied_count += 1
+                if self.obs is not None:
+                    self.obs.event(
+                        "permit.deny",
+                        time=now,
+                        device=device_name,
+                        cell=cell_name,
+                        utilization=utilization,
+                    )
+                    self.obs.count("permits.denied")
+                return None
+            permit = Permit(
+                device_name=device_name,
+                granted_at=now,
+                expires_at=now + self.permit_ttl,
+            )
+            self._permits[device_name] = permit
+            self.granted_count += 1
             if self.obs is not None:
                 self.obs.event(
-                    "permit.deny",
+                    "permit.grant",
                     time=now,
                     device=device_name,
                     cell=cell_name,
-                    utilization=utilization,
+                    expires_at=permit.expires_at,
                 )
-                self.obs.count("permits.denied")
-            return None
-        permit = Permit(
-            device_name=device_name,
-            granted_at=now,
-            expires_at=now + self.permit_ttl,
-        )
-        self._permits[device_name] = permit
-        self.granted_count += 1
-        if self.obs is not None:
-            self.obs.event(
-                "permit.grant",
-                time=now,
-                device=device_name,
-                cell=cell_name,
-                expires_at=permit.expires_at,
-            )
-            self.obs.count("permits.granted")
-        return permit
+                self.obs.count("permits.granted")
+            return permit
 
     def has_valid_permit(self, device_name: str, now: float) -> bool:
         """True when the device may currently onload."""
-        permit = self._permits.get(device_name)
-        return permit is not None and permit.is_valid(now)
+        with self._lock:
+            permit = self._permits.get(device_name)
+            return permit is not None and permit.is_valid(now)
 
     def revoke(self, device_name: str) -> bool:
         """Congestion detected: pull the device's permit.
 
         Returns ``True`` if an active permit was revoked.
         """
-        permit = self._permits.get(device_name)
-        if permit is None or permit.revoked:
-            return False
-        permit.revoked = True
-        self.revoked_count += 1
-        if self.obs is not None:
-            # revoke() has no clock parameter; the event carries a null
-            # timestamp rather than inventing one.
-            self.obs.event("permit.revoke", device=device_name)
-            self.obs.count("permits.revoked")
-        for listener in list(self._revocation_listeners):
+        with self._lock:
+            permit = self._permits.get(device_name)
+            if permit is None or permit.revoked:
+                return False
+            permit.revoked = True
+            self.revoked_count += 1
+            if self.obs is not None:
+                # revoke() has no clock parameter; the event carries a
+                # null timestamp rather than inventing one.
+                self.obs.event("permit.revoke", device=device_name)
+                self.obs.count("permits.revoked")
+            listeners = list(self._revocation_listeners)
+        for listener in listeners:
             listener(device_name)
         return True
 

@@ -15,7 +15,15 @@ that tie those signals to the scheduler machinery:
   :class:`~repro.core.scheduler.runner.DegradationEvent` entries;
 * :func:`bind_fault_schedule` — arms a seeded
   :class:`~repro.netsim.faults.FaultSchedule` against a runner, mapping
-  effective down/up transitions to ``remove_path`` / ``add_path``.
+  effective down/up transitions to ``remove_path`` / ``add_path``;
+* :class:`RetryBudget` — a *shared* token-bucket retry budget layered
+  over the per-flow :class:`~repro.core.scheduler.runner.RetryPolicy`,
+  so a fleet of concurrent flows cannot turn one outage into a retry
+  storm;
+* :class:`FlowLedger` — the long-running service's standing
+  counterpart to the single-use :class:`TransferGuard`: concurrent
+  per-flow cap metering with abort true-up, owned by this module so
+  authority mutation stays inside the guard layer.
 """
 
 from __future__ import annotations
@@ -23,11 +31,13 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.captracker import CapTracker
 from repro.core.mobile import MobileComponent
 from repro.core.permits import PermitServer
 from repro.core.scheduler.runner import (
     DegradationEvent,
     ItemRecord,
+    RetryPolicy,
     TransactionResult,
     TransactionRunner,
 )
@@ -35,6 +45,8 @@ from repro.netsim.faults import FaultEvent, FaultSchedule
 from repro.netsim.fluid import FluidNetwork
 from repro.netsim.path import NetworkPath
 from repro.obs.capture import Instrumentation, current as obs_current
+from repro.obs.schema import canonical_degradation_kind
+from repro.util.rng import spawn_rng
 
 
 class DegradationLog:
@@ -69,10 +81,17 @@ class DegradationLog:
         item_label: str = "",
         detail: str = "",
     ) -> DegradationEvent:
-        """Append one event (returns it, for callers that also log)."""
+        """Append one event (returns it, for callers that also log).
+
+        ``kind`` is canonicalised against the schema's degradation
+        vocabulary (legacy spellings such as ``peer-stall`` map to
+        their canonical kind) so every consumer — hunt oracles,
+        trace-diff, ``of_kind`` filters — sees one name per failure
+        mode regardless of which layer recorded it.
+        """
         event = DegradationEvent(
             time=time,
-            kind=kind,
+            kind=canonical_degradation_kind(kind),
             path_name=path_name,
             item_label=item_label,
             detail=detail,
@@ -80,7 +99,7 @@ class DegradationLog:
         with self._lock:
             self._events.append(event)
         if self._obs is not None:
-            self._obs.count("proto.degradations", kind=kind)
+            self._obs.count("proto.degradations", kind=event.kind)
         return event
 
     @property
@@ -298,6 +317,205 @@ class TransferGuard:
         if self._runner is not None:
             self._runner.rejoin_gate = self._chained_gate
             self._chained_gate = None
+
+
+class RetryBudget:
+    """Shared token-bucket retry budget with jittered backoff.
+
+    The per-flow :class:`~repro.core.scheduler.runner.RetryPolicy`
+    bounds how often *one* item retries; it says nothing about a fleet.
+    When an upstream outage hits a service with hundreds of concurrent
+    flows, every flow's private policy happily retries, synchronised by
+    the outage — a retry storm. The budget is the global brake: a
+    token bucket that starts full at ``capacity`` tokens, spends one
+    token per retry, and refills ``refill_per_success`` tokens per
+    *successful* operation, so sustained retry volume is capped at a
+    fraction of successful traffic. Backoff delays come from the
+    wrapped policy with multiplicative jitter drawn from the seeded
+    RNG, de-synchronising the survivors.
+
+    Thread-safe; deterministic in single-threaded (sim) use because the
+    jitter stream is seeded and consumed in call order.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        capacity: float = 20.0,
+        refill_per_success: float = 0.1,
+        jitter_frac: float = 0.25,
+        seed: int = 0,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        if capacity < 1.0:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if refill_per_success < 0.0:
+            raise ValueError("refill_per_success must be >= 0")
+        if not 0.0 <= jitter_frac <= 1.0:
+            raise ValueError(
+                f"jitter_frac must be in [0, 1], got {jitter_frac}"
+            )
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self.jitter_frac = float(jitter_frac)
+        self._tokens = float(capacity)
+        self._rng = spawn_rng(seed)
+        self._lock = threading.Lock()
+        self._obs = obs if obs is not None else obs_current()
+        #: Grant/denial counters for observability.
+        self.granted_count = 0
+        self.denied_count = 0
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently in the bucket (snapshot)."""
+        with self._lock:
+            return self._tokens
+
+    def record_success(self) -> None:
+        """A successful operation refills a fraction of a token."""
+        with self._lock:
+            self._tokens = min(
+                self.capacity, self._tokens + self.refill_per_success
+            )
+
+    def acquire(self, attempt: int) -> Optional[float]:
+        """Spend one retry token for recovery attempt ``attempt``.
+
+        Returns the jittered backoff delay (seconds) to sleep before
+        retrying, or ``None`` when the retry must not happen — either
+        the per-flow policy's ``max_attempts`` is spent or the shared
+        bucket is dry. Unlike the runner (which re-queues past budget,
+        because losing items is worse), a service flow that gets
+        ``None`` fails fast with a structured degradation.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        with self._lock:
+            if attempt > self.policy.max_attempts or self._tokens < 1.0:
+                self.denied_count += 1
+                if self._obs is not None:
+                    self._obs.count("service.retry_denials")
+                return None
+            self._tokens -= 1.0
+            self.granted_count += 1
+            delay = self.policy.backoff(attempt)
+            if delay > 0.0 and self.jitter_frac > 0.0:
+                delay += delay * self.jitter_frac * float(
+                    self._rng.uniform()
+                )
+            return delay
+
+
+class FlowLedger:
+    """Standing byte ledger for the long-running onload service.
+
+    :class:`TransferGuard` is single-use: attach, run one transaction,
+    finalize. A service relays many concurrent flows against the same
+    :class:`~repro.core.captracker.CapTracker` for days. The ledger is
+    the standing counterpart, owned by the guard layer so authority
+    mutation stays inside it: worker threads meter relayed cellular
+    bytes incrementally, an aborted flow is trued up from its total
+    byte count on settlement (the ``TransferGuard.finalize`` rule), and
+    admission asks the same authority questions the sim-side guard
+    asks — cap dry or permit missing means the flow must not take the
+    cellular leg.
+    """
+
+    def __init__(
+        self,
+        trackers: Mapping[str, CapTracker],
+        permit_server: Optional[PermitServer] = None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.trackers = dict(trackers)
+        self.permit_server = permit_server
+        self._obs = obs if obs is not None else obs_current()
+        if self._obs is not None:
+            # Authority wiring happens here, in the guard layer, so
+            # service code never touches tracker internals (RL010).
+            for device, tracker in self.trackers.items():
+                tracker.bind_obs(self._obs, device=device)
+        self._lock = threading.Lock()
+        #: flow id -> (device name, bytes metered so far).
+        self._flows: Dict[str, Tuple[str, float]] = {}
+
+    def subscribe_revocations(
+        self, callback: Callable[[str], None]
+    ) -> Callable[[], None]:
+        """Register for permit revocations through the guard layer.
+
+        Forwards to the wired :class:`PermitServer`; a ledger without a
+        permit backend returns a no-op unsubscribe. Exists so service
+        code subscribes via the authority boundary (RL010) instead of
+        reaching into the server.
+        """
+        if self.permit_server is None:
+            return lambda: None
+        return self.permit_server.subscribe_revocations(callback)
+
+    def open_flow(self, flow_id: str, device: str) -> None:
+        """Start accounting for ``flow_id`` on ``device``'s leg."""
+        with self._lock:
+            if flow_id in self._flows:
+                raise ValueError(f"flow {flow_id!r} already open")
+            self._flows[flow_id] = (device, 0.0)
+
+    def meter(self, flow_id: str, nbytes: float, now: float) -> None:
+        """Meter ``nbytes`` of relayed traffic for an open flow."""
+        with self._lock:
+            device, metered = self._flows[flow_id]
+            self._flows[flow_id] = (device, metered + nbytes)
+        tracker = self.trackers.get(device)
+        if tracker is not None and nbytes > 0.0:
+            tracker.record_usage(nbytes, now)
+
+    def settle(
+        self, flow_id: str, total_bytes: float, now: float
+    ) -> float:
+        """Close a flow, truing up unmetered bytes; returns the true-up.
+
+        ``total_bytes`` is everything the flow moved over the cellular
+        leg, including partial transfers cut off by an abort; the
+        difference against what :meth:`meter` already recorded is
+        metered now, so the tracker sees every cellular byte exactly as
+        :meth:`TransferGuard.finalize` guarantees for the sim side.
+        """
+        with self._lock:
+            device, metered = self._flows.pop(flow_id)
+        extra = total_bytes - metered
+        tracker = self.trackers.get(device)
+        if tracker is not None and extra > 1e-9:
+            tracker.record_usage(extra, now)
+            return extra
+        return 0.0
+
+    def may_onload(self, device: str, cell: str, now: float) -> bool:
+        """May a new flow take ``device``'s cellular leg right now?
+
+        Cap first (multi-provider rule: advertise iff A(t) > 0), then
+        the permit backend when one is wired (network-integrated rule:
+        hold or obtain a valid permit). Permit acquisition happens
+        here, not in the service, so the RL010 authority boundary
+        holds.
+        """
+        tracker = self.trackers.get(device)
+        if tracker is not None and not tracker.may_advertise(now):
+            return False
+        if self.permit_server is not None:
+            if self.permit_server.has_valid_permit(device, now):
+                return True
+            permit = self.permit_server.request_permit(
+                device, cell, now
+            )
+            return permit is not None
+        return True
+
+    def open_count(self) -> int:
+        """Flows currently open in the ledger."""
+        with self._lock:
+            return len(self._flows)
 
 
 def bind_fault_schedule(

@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.hunt.run import ScenarioOutcome
 from repro.hunt.scenario import generous_cutoff_s
 from repro.obs.export import TraceParseError
+from repro.obs.schema import AUTHORITY_LOSS_KINDS, DISRUPTION_KINDS
 
 __all__ = [
     "ORACLES",
@@ -59,13 +60,16 @@ __all__ = [
 #: Absolute slack for float byte comparisons.
 _BYTES_TOL = 1e-6
 
-#: Degradation kinds after which a path holds no transfer authority.
-_AUTHORITY_LOSS_KINDS = frozenset({"cap-exhausted", "permit-revoked"})
+#: Degradation kinds after which a path holds no transfer authority —
+#: sourced from the canonical taxonomy in :mod:`repro.obs.schema` so
+#: the oracles and the emitters cannot drift apart.
+_AUTHORITY_LOSS_KINDS = AUTHORITY_LOSS_KINDS
 
 #: Disruption kinds that can legitimately re-open endgame duplication.
-_DISRUPTION_KINDS = frozenset(
-    {"path-fault", "path-drain", "stall", "path-rejoin", "path-join"}
-)
+_DISRUPTION_KINDS = DISRUPTION_KINDS
+
+#: The only terminal outcomes a service flow may end with.
+_FLOW_OUTCOMES = frozenset({"completed", "shed", "aborted"})
 
 
 @dataclass(frozen=True)
@@ -311,6 +315,66 @@ def _check_retry_discipline(outcome: ScenarioOutcome) -> List[Violation]:
     return out
 
 
+def _check_drain_discipline(outcome: ScenarioOutcome) -> List[Violation]:
+    """Every admitted service flow reaches a terminal outcome.
+
+    Pairs ``service.flow.admit`` events with ``service.flow.end`` by
+    flow id. Once the trace shows the service reached ``stopped``, an
+    admitted flow with no end event is stranded — the drain state
+    machine leaked it. An end event whose outcome is not one of
+    ``completed``/``shed``/``aborted`` is a breach regardless of
+    lifecycle state. Vacuously clean for scenarios (sim runs) that
+    emit no service events.
+    """
+    if outcome.error is not None:
+        return []
+    try:
+        events = outcome.events()
+    except TraceParseError:
+        return []  # the trace-schema oracle reports this
+    admitted: Set[str] = set()
+    ended: Set[str] = set()
+    stopped = False
+    out: List[Violation] = []
+    for event in events:
+        name = event.get("name")
+        fields = event.get("fields", {})
+        if name == "service.flow.admit":
+            admitted.add(str(fields.get("flow", "")))
+        elif name == "service.flow.end":
+            ended.add(str(fields.get("flow", "")))
+            flow_outcome = fields.get("outcome")
+            if flow_outcome not in _FLOW_OUTCOMES:
+                out.append(
+                    Violation(
+                        oracle="drain-discipline",
+                        detail=(
+                            f"flow {fields.get('flow')} ended with "
+                            f"non-terminal outcome {flow_outcome!r}"
+                        ),
+                        extra=str(fields.get("flow", "")),
+                    )
+                )
+        elif (
+            name == "service.state"
+            and fields.get("state") == "stopped"
+        ):
+            stopped = True
+    if stopped:
+        for flow in sorted(admitted - ended):
+            out.append(
+                Violation(
+                    oracle="drain-discipline",
+                    detail=(
+                        f"flow {flow} was admitted but never reached "
+                        "a terminal outcome before the service stopped"
+                    ),
+                    extra=flow,
+                )
+            )
+    return out
+
+
 def _check_clock_monotonic(outcome: ScenarioOutcome) -> List[Violation]:
     """Timestamped trace events never run backwards."""
     if outcome.error is not None:
@@ -406,6 +470,11 @@ ORACLES: Tuple[Oracle, ...] = (
         "retry-discipline",
         "retry attempts per item are consecutive from 1",
         _check_retry_discipline,
+    ),
+    Oracle(
+        "drain-discipline",
+        "every admitted service flow ends completed, shed, or aborted",
+        _check_drain_discipline,
     ),
 )
 

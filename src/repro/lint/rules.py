@@ -811,3 +811,121 @@ class PublicDocstringRule(Rule):
                 "summary; add one line stating its contract",
                 node,
             )
+
+
+# ---------------------------------------------------------------------------
+# RL012 — blocking socket ops carry explicit timeouts
+# ---------------------------------------------------------------------------
+
+#: Socket methods that block indefinitely on an untimed socket.
+_BLOCKING_SOCKET_OPS = frozenset({"accept", "connect", "recv", "sendall"})
+
+
+@rule
+class SocketTimeoutRule(Rule):
+    """Blocking socket ops in proto/ and service/ must be time-bounded."""
+
+    code = "RL012"
+    title = "blocking socket ops need a socket with an explicit timeout"
+    scope = "proto, service"
+    rationale = (
+        "Every hang the chaos harness ever reproduced came down to one "
+        "shape: a connect/recv/accept/sendall on a socket in the default "
+        "blocking mode, pinned forever by a peer that said nothing. In "
+        "the live packages (proto/, service/) every socket must get "
+        "settimeout() — or be created by socket.create_connection(..., "
+        "timeout=...) — in the same module before a blocking op runs on "
+        "it. Borrowed sockets whose bound provably lives in the caller "
+        "carry a justified `# repro-lint: disable=RL012`."
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return _in_packages(context, ("proto", "service"))
+
+    @staticmethod
+    def _receiver(node: ast.AST) -> str:
+        """The terminal identifier a socket op is invoked on."""
+        return terminal_identifier(node)
+
+    def _safe_receivers(self, tree: ast.Module) -> Set[str]:
+        """Names that provably carry a timeout somewhere in the module.
+
+        A name is safe when it ever appears as the receiver of a
+        ``settimeout(...)`` call, or is ever bound (assignment or
+        ``with ... as``) to a call that either passes a ``timeout=``
+        keyword or is a ``create_connection`` (whose timeout the next
+        check enforces separately). The analysis is module-wide rather
+        than flow-sensitive: the rule is a tripwire for sockets nobody
+        ever bounds, not a proof of per-path ordering.
+        """
+        safe: Set[str] = set()
+
+        def bind(target: ast.AST, value: ast.AST) -> None:
+            if not isinstance(value, ast.Call):
+                return
+            timed = any(
+                keyword.arg == "timeout" for keyword in value.keywords
+            ) or terminal_identifier(value.func) == "create_connection"
+            if not timed:
+                return
+            name = self._receiver(target)
+            if name:
+                safe.add(name)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "settimeout"
+                ):
+                    name = self._receiver(node.func.value)
+                    if name:
+                        safe.add(name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bind(target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                bind(node.target, node.value)
+            elif isinstance(node, ast.withitem):
+                if node.optional_vars is not None:
+                    bind(node.optional_vars, node.context_expr)
+        return safe
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        safe = self._safe_receivers(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                terminal_identifier(node.func) == "create_connection"
+                and not any(
+                    keyword.arg == "timeout"
+                    for keyword in node.keywords
+                )
+            ):
+                yield context.finding(
+                    self.code,
+                    "create_connection without timeout= blocks forever "
+                    "on an unresponsive peer; pass an explicit timeout",
+                    node,
+                )
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            op = node.func.attr
+            if op not in _BLOCKING_SOCKET_OPS:
+                continue
+            if op == "connect" and not node.args:
+                # socket.connect always takes an address; a no-arg
+                # connect() is some other object's method.
+                continue
+            name = self._receiver(node.func.value)
+            if not name or name in safe:
+                continue
+            yield context.finding(
+                self.code,
+                f"blocking {op}() on {name!r}, which never gets "
+                "settimeout() in this module; an unresponsive peer "
+                "would pin this thread forever",
+                node,
+            )

@@ -24,10 +24,15 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Tuple
 
 __all__ = [
+    "AUTHORITY_LOSS_KINDS",
+    "DEGRADATION_KINDS",
+    "DEGRADATION_KIND_ALIASES",
+    "DISRUPTION_KINDS",
     "DURATION_BUCKETS_S",
     "EVENTS",
     "METRICS",
     "SCHEMA_VERSION",
+    "canonical_degradation_kind",
     "markdown_tables",
 ]
 
@@ -41,6 +46,62 @@ SCHEMA_VERSION = 1
 DURATION_BUCKETS_S: Tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
 )
+
+#: The canonical ``DegradationEvent`` kind vocabulary: every layer —
+#: runner, guard, proxy, client, service — records degradations using
+#: exactly these kinds, so hunt oracles and trace-diff can treat the
+#: same failure mode uniformly regardless of which layer observed it.
+#: Emitters with a legacy spelling go through
+#: :func:`canonical_degradation_kind` (see
+#: :data:`DEGRADATION_KIND_ALIASES`).
+DEGRADATION_KINDS: Dict[str, str] = {
+    "path-fault": "a path failed mid-transfer (I/O error, reset, fault "
+                  "schedule)",
+    "path-drain": "a path was drained: in-flight copies finish, no new "
+                  "work",
+    "path-join": "a path joined the transaction after start",
+    "path-rejoin": "a previously removed path rejoined",
+    "rejoin-vetoed": "a rejoin was refused by the rejoin gate",
+    "stall": "no progress before the stall watchdog fired (peer, path "
+             "or socket timeout)",
+    "retry-budget-exhausted": "a retry was wanted but the budget "
+                              "(per-flow policy or shared RetryBudget) "
+                              "had no tokens",
+    "permit-revoked": "the PermitServer revoked the cellular permit "
+                      "mid-transfer",
+    "cap-exhausted": "the daily 3G byte cap ran out mid-transfer",
+    "bad-peer": "a peer spoke malformed protocol and was rejected",
+    "peer-unreachable": "the upstream connect failed outright",
+    "overload-shed": "admission control shed the flow (503-style, "
+                     "pool or queue full)",
+    "deadline-expired": "the propagated deadline lapsed before the "
+                        "transfer finished",
+    "drain-aborted": "a straggler aborted at the drain deadline, "
+                     "bytes trued up",
+}
+
+#: Legacy kind spellings -> canonical kind. ``peer-stall`` was the
+#: proxy's private spelling of ``stall``; the log canonicalises on
+#: record so consumers never see both.
+DEGRADATION_KIND_ALIASES: Dict[str, str] = {
+    "peer-stall": "stall",
+}
+
+#: Kinds that represent *loss of authority* to use the cellular leg
+#: (the hunt authority-discipline oracle keys off these).
+AUTHORITY_LOSS_KINDS = frozenset({"cap-exhausted", "permit-revoked"})
+
+#: Kinds that represent path-level *disruption* (the hunt
+#: retry-discipline oracle keys off these).
+DISRUPTION_KINDS = frozenset(
+    {"path-fault", "path-drain", "stall", "path-rejoin", "path-join"}
+)
+
+
+def canonical_degradation_kind(kind: str) -> str:
+    """Map a possibly-legacy degradation kind to its canonical name."""
+    return DEGRADATION_KIND_ALIASES.get(kind, kind)
+
 
 #: Every trace event: name -> {field: description (with unit)}.
 #: All timestamps are the **engine clock** (simulation seconds); events
@@ -84,7 +145,7 @@ EVENTS: Dict[str, Dict[str, str]] = {
         "queue_s": "transaction start to first scheduling, seconds",
     },
     "degradation": {
-        "kind": "DegradationEvent kind (path-fault, stall, ...)",
+        "kind": "DegradationEvent kind (see the degradation-kind table)",
         "path": "path name (may be empty)",
         "item": "item label (may be empty)",
     },
@@ -111,6 +172,33 @@ EVENTS: Dict[str, Dict[str, str]] = {
         "target": "path/device the fault process drives",
         "action": "'down' or 'up'",
         "kind": "fault process kind (path-flap, radio-drop, ...)",
+    },
+    "service.state": {
+        "state": "lifecycle state entered "
+                 "(starting/serving/draining/stopped)",
+        "previous": "lifecycle state left",
+    },
+    "service.flow.admit": {
+        "flow": "flow id (unique per service lifetime)",
+        "leg": "upstream leg chosen for the flow",
+    },
+    "service.flow.end": {
+        "flow": "flow id",
+        "outcome": "'completed', 'shed' or 'aborted'",
+        "reason": "why, for shed/aborted flows (degradation kind, "
+                  "may be empty)",
+        "status": "HTTP status returned to the client",
+        "transferred_bytes": "payload bytes relayed to the client",
+        "latency_s": "admit to last byte, seconds (wall clock)",
+    },
+    "service.drain.begin": {
+        "deadline_s": "drain deadline, seconds",
+        "in_flight": "flows in flight when the drain began",
+    },
+    "service.drain.end": {
+        "drained": "in-flight flows that completed during the drain",
+        "aborted": "stragglers aborted at the deadline (trued up)",
+        "elapsed_s": "drain duration, seconds (wall clock)",
     },
 }
 
@@ -238,6 +326,35 @@ METRICS: Dict[str, Dict[str, object]] = {
         "type": "counter", "labels": (), "unit": "bytes",
         "help": "PrototypeClient bytes moved by losing copies",
     },
+    "service.flows": {
+        "type": "counter", "labels": ("outcome",), "unit": "count",
+        "help": "admitted flows by terminal outcome "
+                "(completed/shed/aborted)",
+    },
+    "service.shed": {
+        "type": "counter", "labels": ("reason",), "unit": "count",
+        "help": "flows shed before or after admission, by reason",
+    },
+    "service.active_flows": {
+        "type": "gauge", "labels": (), "unit": "count",
+        "help": "flows currently in flight in the service",
+    },
+    "service.queue_depth": {
+        "type": "gauge", "labels": (), "unit": "count",
+        "help": "admission queue depth (waiting for a pool slot)",
+    },
+    "service.bytes": {
+        "type": "counter", "labels": ("direction",), "unit": "bytes",
+        "help": "bytes the service relayed (direction=up/down)",
+    },
+    "service.flow_latency_s": {
+        "type": "histogram", "labels": (), "unit": "seconds",
+        "help": "admit to last byte per flow (wall clock)",
+    },
+    "service.retry_denials": {
+        "type": "counter", "labels": (), "unit": "count",
+        "help": "retries refused by the shared RetryBudget",
+    },
 }
 
 
@@ -257,6 +374,19 @@ def markdown_tables() -> str:
                 f"| {label} | `{field_name}` | {fields[field_name]} |"
             )
             first = False
+    lines.append("")
+    lines.append("### Degradation kinds")
+    lines.append("")
+    lines.append("| kind | meaning |")
+    lines.append("|---|---|")
+    for kind in sorted(DEGRADATION_KINDS):
+        lines.append(f"| `{kind}` | {DEGRADATION_KINDS[kind]} |")
+    for legacy in sorted(DEGRADATION_KIND_ALIASES):
+        canonical = DEGRADATION_KIND_ALIASES[legacy]
+        lines.append(
+            f"| `{legacy}` | legacy alias, canonicalised to "
+            f"`{canonical}` on record |"
+        )
     lines.append("")
     lines.append("### Metrics")
     lines.append("")

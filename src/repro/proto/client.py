@@ -182,9 +182,20 @@ class PrototypeClient:
         policy: SchedulingPolicy,
         host: str = "origin",
         timeout: float = 120.0,
+        deadline_s: Optional[float] = None,
     ) -> ThreadedTransferReport:
-        """Fetch every item (item labels are URL paths) via GET."""
-        return self._run(transaction, policy, "GET", host, timeout)
+        """Fetch every item (item labels are URL paths) via GET.
+
+        ``deadline_s`` is an end-to-end budget: each request carries
+        the remaining budget in the deadline header so every hop
+        (proxy, service, origin) clamps its own reads to it, and per-
+        socket recv timeouts shrink with the budget. ``None`` keeps
+        the per-transfer timeouts alone.
+        """
+        return self._run(
+            transaction, policy, "GET", host, timeout,
+            deadline_s=deadline_s,
+        )
 
     def run_upload(
         self,
@@ -193,10 +204,12 @@ class PrototypeClient:
         host: str = "origin",
         timeout: float = 120.0,
         upload_path: str = "/upload",
+        deadline_s: Optional[float] = None,
     ) -> ThreadedTransferReport:
         """POST every item's payload (deterministic filler bytes)."""
         return self._run(
-            transaction, policy, "POST", host, timeout, upload_path
+            transaction, policy, "POST", host, timeout, upload_path,
+            deadline_s=deadline_s,
         )
 
     # ------------------------------------------------------------------
@@ -210,6 +223,7 @@ class PrototypeClient:
         host: str,
         timeout: float,
         upload_path: str = "/upload",
+        deadline_s: Optional[float] = None,
     ) -> ThreadedTransferReport:
         lock = threading.Lock()
         work_available = threading.Condition(lock)
@@ -306,9 +320,38 @@ class PrototypeClient:
                     if self._obs is not None:
                         self._obs.count("client.copies", path=endpoint.name)
                     endpoint.cancel.clear()
+                remaining: Optional[float] = None
+                if deadline_s is not None:
+                    remaining = deadline_s - now()
+                    if remaining <= 0.0:
+                        # The end-to-end budget is spent: stop cleanly
+                        # with a structured event instead of burning a
+                        # request the proxy would refuse anyway.
+                        with lock:
+                            self._forget_copy(
+                                copies_inflight, item.label, index
+                            )
+                            self.degradations.record(
+                                kind="deadline-expired",
+                                time=now(),
+                                path_name=endpoint.name,
+                                item_label=item.label,
+                                detail=(
+                                    f"{deadline_s}s deadline spent "
+                                    "before transfer"
+                                ),
+                            )
+                            failure.append(
+                                TimeoutError(
+                                    f"deadline {deadline_s}s expired"
+                                )
+                            )
+                            work_available.notify_all()
+                        return
                 try:
                     size = self._transfer_one(
-                        endpoint, method, host, item, upload_path
+                        endpoint, method, host, item, upload_path,
+                        remaining_s=remaining,
                     )
                 except _Cancelled:
                     with lock:
@@ -410,12 +453,26 @@ class PrototypeClient:
         host: str,
         item: TransferItem,
         upload_path: str,
+        remaining_s: Optional[float] = None,
     ) -> int:
-        """One GET or POST over the endpoint's persistent connection."""
+        """One GET or POST over the endpoint's persistent connection.
+
+        With a ``remaining_s`` deadline budget the request carries the
+        budget in the deadline header (so downstream hops clamp to it)
+        and this socket's own recv timeout shrinks to match.
+        """
         sock = endpoint.sock
         assert sock is not None
+        extra: Optional[Dict[str, str]] = None
+        if remaining_s is not None:
+            sock.settimeout(
+                httpwire.clamp_timeout(endpoint.recv_timeout, remaining_s)
+            )
+            extra = {httpwire.DEADLINE_HEADER: f"{remaining_s:.3f}"}
         if method == "GET":
-            request = httpwire.render_request("GET", item.label, host)
+            request = httpwire.render_request(
+                "GET", item.label, host, headers=extra
+            )
         else:
             payload = (item.label.encode("ascii") + b"|") * (
                 int(item.size_bytes) // (len(item.label) + 1) + 1
@@ -425,6 +482,7 @@ class PrototypeClient:
                 "POST",
                 f"{upload_path}/{item.label.strip('/')}",
                 host,
+                headers=extra,
                 body=payload,
             )
         sock.sendall(request)

@@ -15,7 +15,9 @@ hanging the caller forever. All failures are typed
 
 from __future__ import annotations
 
+import math
 import socket
+import time
 from typing import Dict, Optional, Tuple
 
 from repro.proto.errors import (
@@ -26,14 +28,18 @@ from repro.proto.errors import (
 )
 
 __all__ = [
+    "DEADLINE_HEADER",
     "FramingError",
     "MAX_BODY_BYTES",
     "MAX_HEADER_BYTES",
     "MAX_HEADER_COUNT",
+    "MIN_TIMEOUT_S",
     "ProtocolError",
     "StallError",
     "WireError",
+    "clamp_timeout",
     "parse_content_length",
+    "parse_deadline",
     "parse_head",
     "parse_status_line",
     "read_body",
@@ -42,6 +48,13 @@ __all__ = [
     "render_request",
     "render_response",
 ]
+
+#: End-to-end deadline budget header: the requester's *remaining*
+#: deadline in seconds at send time. Each hop clamps its per-read
+#: timeouts to the remaining budget and rewrites the header with what
+#: is left when it forwards, so a slow hop cannot spend a downstream
+#: hop's time.
+DEADLINE_HEADER = "x-3gol-deadline-s"
 
 MAX_HEADER_BYTES = 64 * 1024
 #: Upper bound on distinct header lines in one message.
@@ -58,6 +71,52 @@ DEFAULT_RECV_TIMEOUT = 30.0
 #: Default bound on how long a server-side connection may sit idle
 #: between requests before it is reclaimed.
 DEFAULT_IDLE_TIMEOUT = 120.0
+
+#: Floor for a deadline-clamped socket timeout: even a nearly spent
+#: budget gets one short bounded read rather than a zero timeout
+#: (socket semantics would treat 0 as non-blocking).
+MIN_TIMEOUT_S = 0.05
+
+
+def clamp_timeout(base: float, remaining_s: Optional[float]) -> float:
+    """Per-read timeout bounded by a propagated deadline budget."""
+    if remaining_s is None:
+        return base
+    return max(MIN_TIMEOUT_S, min(base, remaining_s))
+
+class _ReadBudget:
+    """Overall wall-clock bound across a multi-recv read.
+
+    A per-recv timeout alone cannot stop a slow-loris peer: one byte
+    every ``timeout - ε`` seconds resets the clock forever. The budget
+    caps the *whole* read — each recv's timeout shrinks to what is
+    left, and a spent budget raises :class:`StallError` just like a
+    silent peer. ``None`` disables the bound (the prior behaviour).
+    """
+
+    def __init__(self, overall_timeout: Optional[float]) -> None:
+        self._stop_at = (
+            None
+            if overall_timeout is None
+            else time.monotonic() + overall_timeout
+        )
+        self.overall_timeout = overall_timeout
+
+    def recv_timeout(
+        self, base: Optional[float]
+    ) -> Optional[float]:
+        """The next recv's timeout; raises when the budget is spent."""
+        if self._stop_at is None:
+            return base
+        remaining = self._stop_at - time.monotonic()
+        if remaining <= 0.0:
+            raise StallError(
+                f"read exceeded its {self.overall_timeout}s budget"
+            )
+        if base is None:
+            return max(MIN_TIMEOUT_S, remaining)
+        return clamp_timeout(base, remaining)
+
 
 #: Control characters never valid inside a header value (HTAB allowed).
 _VALUE_CTL = frozenset(
@@ -87,21 +146,25 @@ def read_until_blank_line(
     buffered: bytes = b"",
     max_header_bytes: int = MAX_HEADER_BYTES,
     timeout: Optional[float] = None,
+    overall_timeout: Optional[float] = None,
 ) -> Tuple[bytes, bytes]:
     """Read up to and including the header/body separator.
 
     Returns ``(head, leftover)`` where ``head`` ends with CRLFCRLF and
     ``leftover`` is any body bytes already read. The header cap is
     enforced *after* every append: a peer that delivers one huge chunk
-    trips the limit just like one that trickles.
+    trips the limit just like one that trickles. ``timeout`` bounds
+    each recv; ``overall_timeout`` bounds the whole header read, so a
+    slow-loris peer trickling a byte per recv-timeout still stalls out.
     """
+    budget = _ReadBudget(overall_timeout)
     data = buffered
     while b"\r\n\r\n" not in data:
         if len(data) > max_header_bytes:
             raise WireError(
                 f"header section exceeds {max_header_bytes} bytes"
             )
-        chunk = _recv(sock, timeout)
+        chunk = _recv(sock, budget.recv_timeout(timeout))
         if not chunk:
             if not data:
                 raise WireError("connection closed before request")
@@ -183,6 +246,30 @@ def parse_content_length(
     return length
 
 
+def parse_deadline(headers: Dict[str, str]) -> Optional[float]:
+    """Strictly parse the (optional) propagated deadline header.
+
+    Absent means no deadline (``None``). A value that is not a finite
+    float is a protocol lie from the peer, same as a malformed
+    Content-Length. Zero and negative values are *valid* — they mean
+    the budget is already spent and the hop should refuse the work.
+    """
+    raw = headers.get(DEADLINE_HEADER)
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise WireError(
+            f"malformed {DEADLINE_HEADER} value {raw!r}"
+        ) from None
+    if not math.isfinite(value):
+        raise WireError(
+            f"non-finite {DEADLINE_HEADER} value {raw!r}"
+        )
+    return value
+
+
 def parse_status_line(first: str) -> int:
     """Parse and validate an HTTP/1.x status line, returning the code."""
     parts = first.split(" ", 2)
@@ -203,8 +290,14 @@ def read_body(
     content_length: int,
     max_body_bytes: int = MAX_BODY_BYTES,
     timeout: Optional[float] = None,
+    overall_timeout: Optional[float] = None,
 ) -> bytes:
-    """Read exactly ``content_length`` body bytes."""
+    """Read exactly ``content_length`` body bytes.
+
+    ``timeout`` bounds each recv; ``overall_timeout`` bounds the whole
+    body read (the slow-loris defence, as in
+    :func:`read_until_blank_line`).
+    """
     if content_length < 0:
         raise FramingError(f"negative Content-Length {content_length}")
     if content_length > max_body_bytes:
@@ -212,9 +305,10 @@ def read_body(
             f"Content-Length {content_length} exceeds the "
             f"{max_body_bytes}-byte bound"
         )
+    budget = _ReadBudget(overall_timeout)
     body = leftover
     while len(body) < content_length:
-        chunk = _recv(sock, timeout)
+        chunk = _recv(sock, budget.recv_timeout(timeout))
         if not chunk:
             raise WireError("connection closed mid-body")
         body += chunk

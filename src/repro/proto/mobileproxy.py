@@ -29,6 +29,10 @@ from repro.proto import httpwire
 from repro.proto.errors import StallError, WireError
 from repro.proto.shaping import TokenBucket, shaped_send
 
+#: The accept loop wakes at this cadence to re-check its running flag,
+#: so a stop() that races the accept call never strands the thread.
+ACCEPT_TICK_S = 0.5
+
 
 class MobileProxy:
     """A forwarding HTTP proxy with per-direction rate shaping."""
@@ -69,6 +73,7 @@ class MobileProxy:
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind(("127.0.0.1", 0))
         self._server.listen(32)
+        self._server.settimeout(ACCEPT_TICK_S)
         self.host, self.port = self._server.getsockname()
         self._running = False
 
@@ -111,6 +116,8 @@ class MobileProxy:
         while self._running:
             try:
                 conn, _ = self._server.accept()
+            except socket.timeout:
+                continue  # tick: re-check the running flag
             except OSError:
                 return
             threading.Thread(
@@ -128,6 +135,11 @@ class MobileProxy:
         """
         upstream = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
+            # Every blocking op on either socket is timeout-bounded
+            # (RL012): the LAN side by the idle/recv timeouts, the
+            # origin side by the recv timeout, both possibly clamped
+            # by a propagated deadline below.
+            client.settimeout(self.idle_timeout)
             upstream.settimeout(self.recv_timeout)
             try:
                 upstream.connect(self.origin_address)
@@ -152,13 +164,24 @@ class MobileProxy:
                     )
                     first, headers = httpwire.parse_head(head)
                     length = httpwire.parse_content_length(headers)
+                    deadline_s = httpwire.parse_deadline(headers)
                     body = httpwire.read_body(
-                        client, leftover, length, timeout=self.recv_timeout
+                        client,
+                        leftover,
+                        length,
+                        timeout=self._clamp(deadline_s),
                     )
                 except WireError as exc:
                     self._reject_client(client, exc)
                     return
                 leftover = b""
+                # A spent deadline budget is refused up front: the
+                # client's clock already ran out, so relaying would
+                # only burn the shaped uplink on an answer nobody
+                # waits for.
+                if deadline_s is not None and deadline_s <= 0.0:
+                    self._reject_deadline(client, first, deadline_s)
+                    return
                 # Relay upstream and read the origin's answer; a bad or
                 # stalling origin fails this transfer with a 502/504.
                 try:
@@ -172,7 +195,7 @@ class MobileProxy:
                             direction="up",
                         )
                     status, resp_headers, resp_body = httpwire.read_response(
-                        upstream, timeout=self.recv_timeout
+                        upstream, timeout=self._clamp(deadline_s)
                     )
                 except (WireError, OSError) as exc:
                     self._reject_upstream(client, first, exc)
@@ -205,6 +228,27 @@ class MobileProxy:
                 with contextlib.suppress(OSError):
                     sock.close()
 
+    def _clamp(self, deadline_s: Optional[float]) -> float:
+        """Per-read timeout, clamped to the propagated deadline budget."""
+        return httpwire.clamp_timeout(self.recv_timeout, deadline_s)
+
+    def _reject_deadline(
+        self, client: socket.socket, request_line: str, deadline_s: float
+    ) -> None:
+        """The propagated deadline is already spent: 504 without relay."""
+        parts = request_line.split(" ")
+        self.degradations.record(
+            kind="deadline-expired",
+            time=self._now(),
+            path_name=self.name,
+            item_label=parts[1] if len(parts) > 1 else "",
+            detail=f"deadline budget spent ({deadline_s:.3f}s remaining)",
+        )
+        with contextlib.suppress(OSError):
+            client.sendall(
+                httpwire.render_response(504, "Deadline Expired")
+            )
+
     def _reject_client(self, client: socket.socket, exc: WireError) -> None:
         """A malformed/stalled LAN request: 400 this connection only.
 
@@ -229,7 +273,7 @@ class MobileProxy:
         """A garbled or silent origin: 502/504 this transfer only."""
         stalled = isinstance(exc, (StallError, socket.timeout))
         self.degradations.record(
-            kind="peer-stall" if stalled else "bad-peer",
+            kind="stall" if stalled else "bad-peer",
             time=self._now(),
             path_name=self.name,
             item_label=request_line.split(" ")[1]

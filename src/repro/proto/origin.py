@@ -15,6 +15,7 @@ import threading
 from typing import Dict, Optional, Tuple
 
 from repro.proto import httpwire
+from repro.proto.mobileproxy import ACCEPT_TICK_S
 from repro.web.hls import VideoAsset, render_m3u8
 
 
@@ -37,6 +38,7 @@ class LoopbackOrigin:
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind(("127.0.0.1", 0))
         self._server.listen(64)
+        self._server.settimeout(ACCEPT_TICK_S)
         self.host, self.port = self._server.getsockname()
         self._running = False
         self._accept_thread: Optional[threading.Thread] = None
@@ -84,6 +86,8 @@ class LoopbackOrigin:
         while self._running:
             try:
                 conn, _ = self._server.accept()
+            except socket.timeout:
+                continue  # tick: re-check the running flag
             except OSError:
                 return
             threading.Thread(
@@ -93,6 +97,10 @@ class LoopbackOrigin:
     def _serve_connection(self, conn: socket.socket) -> None:
         leftover = b""
         try:
+            # Idle-bounded like every other server socket here (RL012):
+            # a peer that connects and goes silent is reclaimed instead
+            # of pinning a thread forever.
+            conn.settimeout(httpwire.DEFAULT_IDLE_TIMEOUT)
             while True:
                 head, leftover = httpwire.read_until_blank_line(
                     conn, leftover

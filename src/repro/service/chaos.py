@@ -1,0 +1,267 @@
+"""Socket-level chaos harness for the onload service.
+
+A seeded adversarial client fleet that attacks a live service over real
+loopback sockets with the failure modes a long-running relay actually
+meets:
+
+``reset``
+    connect, send half a request, then close with ``SO_LINGER(1, 0)``
+    so the kernel sends RST instead of FIN — the mid-request
+    connection-reset case;
+``truncate``
+    declare ``Content-Length: N`` and send fewer than N body bytes
+    before closing — a framing lie the strict wire parsers must turn
+    into a bounded ``bad-peer`` degradation, not a hang;
+``slow-loris``
+    trickle the request header a few bytes at a time with sleeps, to
+    try to pin a pool slot; the service's flow deadline must cut it
+    off;
+``accept-pressure``
+    connect and send nothing at all, holding the socket open — fills
+    the accept queue and the admission pool with idle flows;
+``clean``
+    a well-formed request that reads its response — the control that
+    proves the service keeps serving honest peers *during* the attack.
+
+The plan — how many connections, which mode, when — is derived from a
+seed (:func:`build_plan` is a pure function of its arguments), so a
+chaos run is replayable. Execution timing is real wall-clock and is
+not, but every invariant the harness checks (every admitted flow
+reaches a terminal outcome, the service stays responsive, drain
+completes) is timing-independent.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.proto import httpwire
+from repro.util.rng import spawn_rng
+
+__all__ = [
+    "CHAOS_MODES",
+    "ChaosConnection",
+    "ChaosPlan",
+    "ChaosReport",
+    "build_plan",
+    "run_plan",
+]
+
+CLEAN = "clean"
+RESET = "reset"
+TRUNCATE = "truncate"
+SLOW_LORIS = "slow-loris"
+ACCEPT_PRESSURE = "accept-pressure"
+
+#: Every chaos mode, in plan-encoding order (index = mode id).
+CHAOS_MODES: Tuple[str, ...] = (
+    CLEAN,
+    RESET,
+    TRUNCATE,
+    SLOW_LORIS,
+    ACCEPT_PRESSURE,
+)
+
+#: Default mode mix: enough clean traffic to prove liveness under
+#: attack, the rest split across the four adversarial modes.
+DEFAULT_WEIGHTS: Tuple[float, ...] = (0.4, 0.15, 0.15, 0.15, 0.15)
+
+
+@dataclass(frozen=True)
+class ChaosConnection:
+    """One planned adversarial connection."""
+
+    offset_s: float
+    mode: str
+    #: Mode-specific size knob (body bytes, trickle bytes, hold time).
+    intensity: int
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A replayable chaos schedule (pure function of the seed)."""
+
+    seed: int
+    duration_s: float
+    connections: Tuple[ChaosConnection, ...]
+
+    def mode_counts(self) -> Dict[str, int]:
+        """Planned connections per mode."""
+        counts: Dict[str, int] = {}
+        for conn in self.connections:
+            counts[conn.mode] = counts.get(conn.mode, 0) + 1
+        return counts
+
+
+@dataclass
+class ChaosReport:
+    """What the fleet observed (wall-clock side; not deterministic)."""
+
+    attempted: Dict[str, int] = field(default_factory=dict)
+    #: Responses read by clean connections, keyed by status code.
+    responses: Dict[int, int] = field(default_factory=dict)
+    connect_failures: int = 0
+    elapsed_s: float = 0.0
+
+
+def build_plan(
+    seed: int,
+    duration_s: float,
+    connections: int,
+    weights: Tuple[float, ...] = DEFAULT_WEIGHTS,
+) -> ChaosPlan:
+    """Derive a chaos schedule from a seed; same seed, same plan."""
+    if connections < 0:
+        raise ValueError(f"connections must be >= 0, got {connections}")
+    if len(weights) != len(CHAOS_MODES):
+        raise ValueError(
+            f"need {len(CHAOS_MODES)} weights, got {len(weights)}"
+        )
+    rng = spawn_rng(seed)
+    total = float(sum(weights))
+    probabilities = [w / total for w in weights]
+    planned: List[ChaosConnection] = []
+    for _ in range(connections):
+        offset = float(rng.uniform(0.0, duration_s))
+        mode = CHAOS_MODES[
+            int(rng.choice(len(CHAOS_MODES), p=probabilities))
+        ]
+        intensity = int(rng.integers(1, 64))
+        planned.append(
+            ChaosConnection(
+                offset_s=offset, mode=mode, intensity=intensity
+            )
+        )
+    planned.sort(key=lambda c: (c.offset_s, c.mode, c.intensity))
+    return ChaosPlan(
+        seed=seed,
+        duration_s=duration_s,
+        connections=tuple(planned),
+    )
+
+
+def run_plan(
+    plan: ChaosPlan,
+    address: Tuple[str, int],
+    connect_timeout: float = 5.0,
+    hold_s: float = 2.0,
+    trickle_gap_s: float = 0.2,
+) -> ChaosReport:
+    """Fire a chaos plan at a live service; blocks until done.
+
+    Every socket the fleet opens carries an explicit timeout, so a
+    misbehaving *service* cannot hang the harness either. ``hold_s``
+    bounds how long accept-pressure and slow-loris connections linger.
+    """
+    report = ChaosReport()
+    report_lock = threading.Lock()
+    started = time.monotonic()
+    threads: List[threading.Thread] = []
+
+    def attack(conn: ChaosConnection) -> None:
+        delay = started + conn.offset_s - time.monotonic()
+        if delay > 0.0:
+            time.sleep(delay)
+        with report_lock:
+            report.attempted[conn.mode] = (
+                report.attempted.get(conn.mode, 0) + 1
+            )
+        try:
+            sock = socket.create_connection(
+                address, timeout=connect_timeout
+            )
+        except OSError:
+            with report_lock:
+                report.connect_failures += 1
+            return
+        try:
+            _run_mode(
+                sock, conn, report, report_lock, hold_s, trickle_gap_s
+            )
+        finally:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    for planned in plan.connections:
+        thread = threading.Thread(
+            target=attack, args=(planned,), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    # Every mode is individually bounded, so the join deadline is a
+    # backstop, not a correctness mechanism.
+    deadline = (
+        started + plan.duration_s + hold_s + connect_timeout + 10.0
+    )
+    for thread in threads:
+        thread.join(max(0.0, deadline - time.monotonic()))
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def _run_mode(
+    sock: socket.socket,
+    conn: ChaosConnection,
+    report: ChaosReport,
+    report_lock: threading.Lock,
+    hold_s: float,
+    trickle_gap_s: float,
+) -> None:
+    if conn.mode == CLEAN:
+        sock.sendall(
+            httpwire.render_request(
+                "POST",
+                f"/chaos/clean-{conn.intensity}",
+                "origin",
+                body=b"c" * conn.intensity,
+            )
+        )
+        with contextlib.suppress(httpwire.WireError, OSError):
+            status, _, _ = httpwire.read_response(
+                sock, timeout=hold_s + 10.0
+            )
+            with report_lock:
+                report.responses[status] = (
+                    report.responses.get(status, 0) + 1
+                )
+    elif conn.mode == RESET:
+        with contextlib.suppress(OSError):
+            sock.sendall(b"POST /chaos/reset HTTP/1.1\r\nHost: or")
+            # linger(on, 0): close() sends RST, not FIN.
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+    elif conn.mode == TRUNCATE:
+        declared = conn.intensity + 16
+        with contextlib.suppress(OSError):
+            sock.sendall(
+                b"POST /chaos/truncate HTTP/1.1\r\n"
+                b"Host: origin\r\n"
+                + f"Content-Length: {declared}\r\n\r\n".encode("ascii")
+                + b"t" * conn.intensity  # short of the declaration
+            )
+    elif conn.mode == SLOW_LORIS:
+        head = (
+            b"POST /chaos/loris HTTP/1.1\r\nHost: origin\r\n"
+            b"X-Drip: " + b"d" * 512 + b"\r\n\r\n"
+        )
+        stop_at = time.monotonic() + hold_s
+        with contextlib.suppress(OSError):
+            for i in range(0, len(head), max(1, conn.intensity // 8)):
+                if time.monotonic() >= stop_at:
+                    break
+                sock.sendall(head[i : i + max(1, conn.intensity // 8)])
+                time.sleep(trickle_gap_s)
+    elif conn.mode == ACCEPT_PRESSURE:
+        # Say nothing; just occupy the accept queue / pool.
+        time.sleep(hold_s)
+    else:  # pragma: no cover - plan construction forbids this
+        raise ValueError(f"unknown chaos mode {conn.mode!r}")

@@ -1,0 +1,157 @@
+"""Service lifecycle: the state machine and deadline budgets.
+
+The long-running onload service moves through exactly four states::
+
+    starting -> serving -> draining -> stopped
+        \\__________________________/^
+         (a service that fails to start stops directly)
+
+:class:`Lifecycle` enforces those edges under a lock and lets other
+threads wait for a state. :class:`Deadline` is the service's time
+budget primitive: a monotonic expiry that clamps per-read socket
+timeouts (via :func:`repro.proto.httpwire.clamp_timeout`) and renders
+itself into the propagated deadline header.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.proto import httpwire
+
+__all__ = [
+    "DRAINING",
+    "Deadline",
+    "Lifecycle",
+    "LifecycleError",
+    "SERVING",
+    "STARTING",
+    "STOPPED",
+]
+
+STARTING = "starting"
+SERVING = "serving"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+#: Legal edges of the state machine.
+_TRANSITIONS = {
+    STARTING: frozenset({SERVING, STOPPED}),
+    SERVING: frozenset({DRAINING}),
+    DRAINING: frozenset({STOPPED}),
+    STOPPED: frozenset(),
+}
+
+
+class LifecycleError(RuntimeError):
+    """An illegal lifecycle transition was attempted."""
+
+
+class Lifecycle:
+    """Thread-safe service state machine with waitable transitions."""
+
+    def __init__(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self._clock = clock
+        self._started = clock()
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._state = STARTING
+        #: Every state entered, with seconds-since-construction stamps.
+        self.history: List[Tuple[str, float]] = [(STARTING, 0.0)]
+
+    @property
+    def state(self) -> str:
+        """The current lifecycle state."""
+        with self._lock:
+            return self._state
+
+    def elapsed(self) -> float:
+        """Seconds since the lifecycle was constructed."""
+        return self._clock() - self._started
+
+    def transition(self, to: str) -> str:
+        """Move to state ``to``; returns the state left.
+
+        Raises :class:`LifecycleError` for an edge the machine does not
+        have — a double drain, serving after stop, and so on — so a
+        lifecycle bug fails loudly instead of leaving a half-stopped
+        service.
+        """
+        with self._changed:
+            allowed = _TRANSITIONS.get(self._state, frozenset())
+            if to not in allowed:
+                raise LifecycleError(
+                    f"illegal transition {self._state!r} -> {to!r}"
+                )
+            previous = self._state
+            self._state = to
+            self.history.append((to, self.elapsed()))
+            self._changed.notify_all()
+            return previous
+
+    def wait_for(self, state: str, timeout: float) -> bool:
+        """Block until the machine reaches ``state``; False on timeout."""
+        deadline = self._clock() + timeout
+        with self._changed:
+            while self._state != state:
+                remaining = deadline - self._clock()
+                if remaining <= 0.0:
+                    return False
+                self._changed.wait(remaining)
+            return True
+
+
+class Deadline:
+    """A monotonic time budget, propagated hop to hop.
+
+    ``Deadline(None)`` is the unbounded budget: never expired, clamps
+    nothing, renders no header. Built either from a local budget or
+    from a peer's propagated header value
+    (:meth:`from_header_value`).
+    """
+
+    def __init__(
+        self,
+        budget_s: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._expires_at = (
+            None if budget_s is None else clock() + budget_s
+        )
+
+    @classmethod
+    def from_header_value(
+        cls,
+        budget_s: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """Budget parsed by :func:`repro.proto.httpwire.parse_deadline`."""
+        return cls(budget_s, clock=clock)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left in the budget (``None``: unbounded)."""
+        if self._expires_at is None:
+            return None
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def clamp(self, timeout: float) -> float:
+        """Bound a per-read socket timeout by the remaining budget."""
+        return httpwire.clamp_timeout(timeout, self.remaining())
+
+    def header_value(self) -> Optional[str]:
+        """The value to forward in the deadline header, or ``None``."""
+        remaining = self.remaining()
+        if remaining is None:
+            return None
+        return f"{remaining:.3f}"

@@ -1,0 +1,227 @@
+"""Seeded open-loop load generator for the onload service.
+
+Arrivals follow the open-loop discipline the DSLAM trace analysis
+motivates: flows fire at their planned offsets whether or not earlier
+flows have completed, so an overloaded service faces *more* pressure,
+not a politely self-throttling client. Inter-arrival gaps are
+exponential (Poisson arrivals at ``rate_per_s``), body sizes are
+lognormal around ``mean_kbytes`` (photo-upload-shaped: most small, a
+heavy tail), and each flow carries a propagated deadline header so the
+deadline machinery is exercised end to end.
+
+The *plan* — offsets, sizes, deadlines — is a pure function of the
+seed (:func:`build_load_plan`), hashed into a digest that the service
+benchmark records; the *measurements* (latencies, outcome counts) are
+wall-clock and live in a separate, explicitly non-deterministic
+section.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.proto import httpwire
+from repro.util.rng import RngFactory
+
+__all__ = [
+    "LoadFlow",
+    "LoadPlan",
+    "LoadReport",
+    "build_load_plan",
+    "run_load",
+]
+
+#: Outcome labels, from the client's chair.
+COMPLETED = "completed"
+SHED = "shed"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class LoadFlow:
+    """One planned flow: when it fires, what it uploads, its budget."""
+
+    offset_s: float
+    body_bytes: int
+    deadline_s: float
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """A replayable open-loop workload (pure function of the seed)."""
+
+    seed: int
+    duration_s: float
+    rate_per_s: float
+    mean_kbytes: float
+    flows: Tuple[LoadFlow, ...]
+
+    def digest(self) -> str:
+        """SHA-256 over the full schedule; byte-identical per seed."""
+        hasher = hashlib.sha256()
+        hasher.update(
+            f"{self.seed}:{self.duration_s}:{self.rate_per_s}:"
+            f"{self.mean_kbytes}".encode("ascii")
+        )
+        for flow in self.flows:
+            hasher.update(
+                f"{flow.offset_s:.9f}:{flow.body_bytes}:"
+                f"{flow.deadline_s:.9f};".encode("ascii")
+            )
+        return hasher.hexdigest()
+
+
+@dataclass
+class LoadReport:
+    """What the generator measured (wall-clock; not deterministic)."""
+
+    offered: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    statuses: Dict[int, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Latency percentile over completed flows (None: no data)."""
+        if not self.latencies_s:
+            return None
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+
+def build_load_plan(
+    seed: int,
+    duration_s: float,
+    rate_per_s: float,
+    mean_kbytes: float = 16.0,
+    min_deadline_s: float = 5.0,
+    max_deadline_s: float = 20.0,
+) -> LoadPlan:
+    """Derive an open-loop arrival schedule; same seed, same plan."""
+    if duration_s <= 0.0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if rate_per_s <= 0.0:
+        raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+    factory = RngFactory(seed)
+    arrivals_rng = factory.derive("loadgen-arrivals")
+    sizes_rng = factory.derive("loadgen-sizes")
+    deadlines_rng = factory.derive("loadgen-deadlines")
+    flows: List[LoadFlow] = []
+    clock = 0.0
+    while True:
+        clock += float(arrivals_rng.exponential(1.0 / rate_per_s))
+        if clock >= duration_s:
+            break
+        # Lognormal with the requested mean: most uploads small, a
+        # heavy tail, floored at 1 byte.
+        sigma = 0.75
+        mu = float(np.log(mean_kbytes * 1024.0)) - sigma * sigma / 2.0
+        size = max(1, int(sizes_rng.lognormal(mu, sigma)))
+        deadline = float(
+            deadlines_rng.uniform(min_deadline_s, max_deadline_s)
+        )
+        flows.append(
+            LoadFlow(
+                offset_s=clock, body_bytes=size, deadline_s=deadline
+            )
+        )
+    return LoadPlan(
+        seed=seed,
+        duration_s=duration_s,
+        rate_per_s=rate_per_s,
+        mean_kbytes=mean_kbytes,
+        flows=tuple(flows),
+    )
+
+
+def _drive_flow(
+    index: int,
+    flow: LoadFlow,
+    address: Tuple[str, int],
+    report: LoadReport,
+    lock: threading.Lock,
+) -> None:
+    started = time.monotonic()
+    status = 0
+    try:
+        sock = socket.create_connection(
+            address, timeout=flow.deadline_s
+        )
+    except OSError:
+        with lock:
+            report.outcomes[FAILED] = (
+                report.outcomes.get(FAILED, 0) + 1
+            )
+        return
+    try:
+        sock.sendall(
+            httpwire.render_request(
+                "POST",
+                f"/load/flow-{index}",
+                "origin",
+                headers={
+                    httpwire.DEADLINE_HEADER: f"{flow.deadline_s:.3f}"
+                },
+                body=b"u" * flow.body_bytes,
+            )
+        )
+        status, _, _ = httpwire.read_response(
+            sock, timeout=flow.deadline_s
+        )
+    except (httpwire.WireError, OSError):
+        with lock:
+            report.outcomes[FAILED] = (
+                report.outcomes.get(FAILED, 0) + 1
+            )
+        return
+    finally:
+        with contextlib.suppress(OSError):
+            sock.close()
+    latency = time.monotonic() - started
+    outcome = COMPLETED if status == 200 else SHED
+    with lock:
+        report.statuses[status] = report.statuses.get(status, 0) + 1
+        report.outcomes[outcome] = report.outcomes.get(outcome, 0) + 1
+        if outcome == COMPLETED:
+            report.latencies_s.append(latency)
+
+
+def run_load(
+    plan: LoadPlan, address: Tuple[str, int]
+) -> LoadReport:
+    """Fire the plan open-loop at a live service; blocks until done.
+
+    Flows launch at their planned offsets regardless of completions.
+    Every socket carries a timeout (the flow's own deadline), so a
+    wedged service costs a bounded wait, never a hung generator.
+    """
+    report = LoadReport(offered=len(plan.flows))
+    lock = threading.Lock()
+    started = time.monotonic()
+    threads: List[threading.Thread] = []
+    for index, flow in enumerate(plan.flows):
+        delay = started + flow.offset_s - time.monotonic()
+        if delay > 0.0:
+            time.sleep(delay)
+        thread = threading.Thread(
+            target=_drive_flow,
+            args=(index, flow, address, report, lock),
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    longest = max(
+        (flow.deadline_s for flow in plan.flows), default=0.0
+    )
+    deadline = started + plan.duration_s + longest + 10.0
+    for thread in threads:
+        thread.join(max(0.0, deadline - time.monotonic()))
+    report.elapsed_s = time.monotonic() - started
+    return report

@@ -129,3 +129,54 @@ class TestCli:
         path.write_text("[1, 2]", encoding="utf-8")
         with pytest.raises(ValueError):
             load_record(path)
+
+
+class TestServiceBench:
+    def test_plan_section_byte_identical_per_seed(self):
+        from repro.bench.service import plan_section
+        from repro.service.chaos import build_plan
+        from repro.service.loadgen import build_load_plan
+
+        def derive(seed):
+            return plan_section(
+                seed,
+                build_load_plan(seed, duration_s=10.0, rate_per_s=4.0),
+                build_plan(seed, duration_s=10.0, connections=40),
+            )
+
+        one = json.dumps(derive(5), sort_keys=True)
+        two = json.dumps(derive(5), sort_keys=True)
+        assert one == two
+        assert one != json.dumps(derive(6), sort_keys=True)
+
+    def test_record_roundtrip(self, tmp_path):
+        from repro.bench.service import (
+            SERVICE_BENCH_FILENAME,
+            build_service_record,
+            write_service_record,
+        )
+        from repro.service.chaos import build_plan
+        from repro.service.loadgen import LoadReport, build_load_plan
+        from repro.service.server import DrainReport, ServiceReport
+
+        record = build_service_record(
+            0,
+            build_load_plan(0, duration_s=5.0, rate_per_s=2.0),
+            build_plan(0, duration_s=5.0, connections=10),
+            LoadReport(offered=3, outcomes={"completed": 3}),
+            ServiceReport(flows=[], drain=None, active=0),
+            DrainReport(
+                in_flight=0,
+                drained=0,
+                aborted=0,
+                elapsed_s=0.01,
+                met_deadline=True,
+            ),
+        )
+        path = write_service_record(record, tmp_path)
+        assert path.name == SERVICE_BENCH_FILENAME
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == record
+        assert loaded["measured"]["service"]["stranded"] == 0
+        # No latency samples: percentiles are explicitly null, not 0.
+        assert loaded["measured"]["latency_s"]["p50"] is None

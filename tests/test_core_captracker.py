@@ -1,5 +1,7 @@
 """Device-side cap tracking."""
 
+import threading
+
 import pytest
 
 from repro.core.captracker import CapTracker
@@ -62,3 +64,60 @@ class TestCapTracker:
         tracker = CapTracker(daily_budget_bytes=1.0)
         with pytest.raises(ValueError):
             tracker.record_usage(-5.0, 0.0)
+
+
+class TestConcurrentMetering:
+    """The long-running service meters many flows into one tracker."""
+
+    def test_no_lost_updates_under_contention(self):
+        tracker = CapTracker(daily_budget_bytes=1000 * MB)
+        threads_n, per_thread, chunk = 8, 500, 1024.0
+
+        def meter():
+            for _ in range(per_thread):
+                tracker.record_usage(chunk, 100.0)
+
+        workers = [
+            threading.Thread(target=meter) for _ in range(threads_n)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30.0)
+        expected = threads_n * per_thread * chunk
+        assert tracker.total_used_bytes == pytest.approx(expected)
+        assert tracker.used_today_bytes == pytest.approx(expected)
+
+    def test_budget_conserved_while_readers_race_writers(self):
+        tracker = CapTracker(daily_budget_bytes=100 * MB)
+        stop = threading.Event()
+        violations = []
+
+        def read_loop():
+            while not stop.is_set():
+                available = tracker.available_bytes(50.0)
+                if not 0.0 <= available <= 100 * MB:
+                    violations.append(available)
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        writers = [
+            threading.Thread(
+                target=lambda: [
+                    tracker.record_usage(0.5 * MB, 50.0)
+                    for _ in range(100)
+                ]
+            )
+            for _ in range(4)
+        ]
+        for worker in writers:
+            worker.start()
+        for worker in writers:
+            worker.join(timeout=30.0)
+        stop.set()
+        reader.join(timeout=30.0)
+        assert violations == []
+        # 4 x 100 x 0.5 MB = 200 MB metered: budget overshot (allowed)
+        # but every byte accounted for.
+        assert tracker.total_used_bytes == pytest.approx(200 * MB)
+        assert tracker.available_bytes(60.0) == 0.0

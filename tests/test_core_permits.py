@@ -1,5 +1,7 @@
 """Network-integrated permit backend."""
 
+import threading
+
 import pytest
 
 from repro.core.permits import PermitServer
@@ -68,3 +70,85 @@ class TestPermitServer:
         server = PermitServer(lambda cell, now: 1.5)
         with pytest.raises(ValueError):
             server.request_permit("ph", "cell", 0.0)
+
+
+class TestConcurrentPermits:
+    """The long-running service grants/revokes from many threads."""
+
+    def test_grant_revoke_races_conserve_counters(self):
+        server = PermitServer(utilization_table({"cell": 0.1}))
+        rounds, threads_n = 50, 6
+        barrier = threading.Barrier(threads_n)
+
+        def churn(device):
+            barrier.wait(timeout=30.0)
+            for now in range(rounds):
+                permit = server.request_permit(device, "cell", float(now))
+                assert permit is not None  # 0.1 utilization: never denied
+                server.revoke(device)
+
+        workers = [
+            threading.Thread(target=churn, args=(f"ph{i}",))
+            for i in range(threads_n)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30.0)
+        # Each round's grant is revoked before the device asks again,
+        # so no grant and no revocation is ever lost or double-counted.
+        assert server.granted_count == threads_n * rounds
+        assert server.revoked_count == threads_n * rounds
+        assert server.denied_count == 0
+        for i in range(threads_n):
+            assert not server.has_valid_permit(f"ph{i}", float(rounds))
+
+    def test_single_device_contention_no_lost_updates(self):
+        server = PermitServer(utilization_table({"cell": 0.1}))
+        threads_n = 8
+        barrier = threading.Barrier(threads_n)
+
+        def race():
+            barrier.wait(timeout=30.0)
+            server.request_permit("ph", "cell", 0.0)
+
+        workers = [
+            threading.Thread(target=race) for _ in range(threads_n)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30.0)
+        # One thread wins the grant; the rest refresh the cached permit.
+        assert server.granted_count == 1
+        assert server.has_valid_permit("ph", 1.0)
+        assert server.revoke("ph")
+        assert server.revoked_count == 1
+
+    def test_listeners_fire_once_per_revocation_across_threads(self):
+        server = PermitServer(utilization_table({"cell": 0.1}))
+        fired = []
+        fired_lock = threading.Lock()
+
+        def listener(device):
+            with fired_lock:
+                fired.append(device)
+
+        server.subscribe_revocations(listener)
+        for i in range(4):
+            server.request_permit(f"ph{i}", "cell", 0.0)
+        revokers = [
+            threading.Thread(target=server.revoke, args=(f"ph{i}",))
+            for i in range(4)
+        ] + [
+            # Duplicate revokers: a permit already revoked is a no-op
+            # and must not re-fire the listener.
+            threading.Thread(target=server.revoke, args=("ph0",))
+            for _ in range(3)
+        ]
+        for worker in revokers:
+            worker.start()
+        for worker in revokers:
+            worker.join(timeout=30.0)
+        assert sorted(fired) == ["ph0", "ph1", "ph2", "ph3"]
+        assert server.revoked_count == 4

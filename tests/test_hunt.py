@@ -283,6 +283,93 @@ class TestOracleInverseControls:
         assert [v.oracle for v in violations] == ["retry-discipline"]
         assert violations[0].extra == "item000"
 
+    def test_drain_discipline_stranded_flow(self):
+        outcome = ScenarioOutcome(
+            scenario=spec(),
+            completed=True,
+            trace_lines=trace(
+                (
+                    "service.flow.admit",
+                    1.0,
+                    {"flow": "f0", "leg": "adsl"},
+                ),
+                (
+                    "service.state",
+                    2.0,
+                    {"state": "stopped", "previous": "draining"},
+                ),
+            ),
+        )
+        violations = check_outcome(outcome)
+        assert [v.oracle for v in violations] == ["drain-discipline"]
+        assert violations[0].extra == "f0"
+
+    def test_drain_discipline_clean_pairing(self):
+        outcome = ScenarioOutcome(
+            scenario=spec(),
+            completed=True,
+            trace_lines=trace(
+                (
+                    "service.flow.admit",
+                    1.0,
+                    {"flow": "f0", "leg": "adsl"},
+                ),
+                (
+                    "service.flow.end",
+                    2.0,
+                    {
+                        "flow": "f0",
+                        "outcome": "aborted",
+                        "reason": "drain-aborted",
+                        "status": 0,
+                        "transferred_bytes": 0,
+                        "latency_s": 1.0,
+                    },
+                ),
+                (
+                    "service.state",
+                    3.0,
+                    {"state": "stopped", "previous": "draining"},
+                ),
+            ),
+        )
+        assert self.fired(outcome) == []
+
+    def test_drain_discipline_non_terminal_outcome(self):
+        outcome = ScenarioOutcome(
+            scenario=spec(),
+            completed=True,
+            trace_lines=trace(
+                (
+                    "service.flow.admit",
+                    1.0,
+                    {"flow": "f0", "leg": "adsl"},
+                ),
+                (
+                    "service.flow.end",
+                    2.0,
+                    {"flow": "f0", "outcome": "in-flight"},
+                ),
+            ),
+        )
+        assert self.fired(outcome) == ["drain-discipline"]
+
+    def test_drain_discipline_running_service_not_stranded(self):
+        # No `stopped` state in the trace: an admitted flow without an
+        # end event is simply still in flight, not a violation.
+        outcome = ScenarioOutcome(
+            scenario=spec(),
+            completed=True,
+            trace_lines=trace(
+                (
+                    "service.flow.admit",
+                    1.0,
+                    {"flow": "f0", "leg": "adsl"},
+                ),
+            ),
+        )
+        assert self.fired(outcome) == []
+
     def test_only_subset_and_unknown_id(self):
         outcome = ScenarioOutcome(
             scenario=spec(), error="x", error_site="s"

@@ -56,7 +56,7 @@ class TestRegistry:
     def test_rules_registered_in_order(self):
         assert [r.code for r in all_rules()] == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008", "RL009", "RL010", "RL011",
+            "RL008", "RL009", "RL010", "RL011", "RL012",
         ]
 
     def test_every_rule_has_title_and_rationale(self):
@@ -634,6 +634,94 @@ class TestPublicDocstringRule:
             "    return x\n"
         )
         assert lint(src, "repro/core/x.py", codes=["RL007"]) == []
+
+
+class TestSocketTimeoutRule:
+    def test_untimed_recv_flagged(self):
+        src = """\
+            import socket
+            def pull(sock):
+                return sock.recv(4096)
+            """
+        findings = lint(src, "repro/service/x.py", codes=["RL012"])
+        assert codes_of(findings) == ["RL012"]
+        assert "recv" in findings[0].message
+
+    @pytest.mark.parametrize("op", ["accept", "sendall"])
+    def test_other_blocking_ops_flagged(self, op):
+        src = f"def go(sock):\n    sock.{op}(b'x')\n"
+        assert codes_of(
+            lint(src, "repro/proto/x.py", codes=["RL012"])
+        ) == ["RL012"]
+
+    def test_connect_with_address_flagged(self):
+        src = "def go(sock):\n    sock.connect(('h', 80))\n"
+        assert codes_of(
+            lint(src, "repro/service/x.py", codes=["RL012"])
+        ) == ["RL012"]
+
+    def test_no_arg_connect_not_a_socket(self):
+        # Endpoint.connect() takes no address; socket.connect always does.
+        src = "def go(endpoint):\n    return endpoint.connect()\n"
+        assert lint(src, "repro/proto/x.py", codes=["RL012"]) == []
+
+    def test_settimeout_anywhere_in_module_clears_receiver(self):
+        src = """\
+            def setup(sock, t):
+                sock.settimeout(t)
+            def pull(sock):
+                return sock.recv(4096)
+            """
+        assert lint(src, "repro/service/x.py", codes=["RL012"]) == []
+
+    def test_create_connection_without_timeout_flagged(self):
+        src = """\
+            import socket
+            def dial(addr):
+                return socket.create_connection(addr)
+            """
+        findings = lint(src, "repro/service/x.py", codes=["RL012"])
+        assert codes_of(findings) == ["RL012"]
+        assert "create_connection" in findings[0].message
+
+    def test_create_connection_binding_makes_receiver_safe(self):
+        src = """\
+            import socket
+            def dial(addr):
+                sock = socket.create_connection(addr, timeout=5.0)
+                sock.sendall(b"hi")
+                return sock.recv(64)
+            """
+        assert lint(src, "repro/service/x.py", codes=["RL012"]) == []
+
+    def test_timeout_kwarg_binding_makes_receiver_safe(self):
+        src = """\
+            def serve(pool):
+                conn = pool.checkout(timeout=2.0)
+                return conn.recv(64)
+            """
+        assert lint(src, "repro/proto/x.py", codes=["RL012"]) == []
+
+    def test_with_as_binding_makes_receiver_safe(self):
+        src = """\
+            import socket
+            def dial(addr):
+                with socket.create_connection(addr, timeout=1.0) as sock:
+                    sock.sendall(b"hi")
+            """
+        assert lint(src, "repro/service/x.py", codes=["RL012"]) == []
+
+    def test_does_not_apply_outside_proto_and_service(self):
+        src = "def go(sock):\n    return sock.recv(64)\n"
+        assert lint(src, "repro/core/x.py", codes=["RL012"]) == []
+        assert lint(src, "repro/netsim/x.py", codes=["RL012"]) == []
+
+    def test_suppression_comment_silences(self):
+        src = (
+            "def go(sock):\n"
+            "    return sock.recv(64)  # repro-lint: disable=RL012\n"
+        )
+        assert lint(src, "repro/service/x.py", codes=["RL012"]) == []
 
 
 # ---------------------------------------------------------------------------

@@ -134,6 +134,67 @@ class TestHeaderCapBoundary:
             read_until_blank_line(stream, max_header_bytes=128)
 
 
+class TestOverallReadBudget:
+    """``overall_timeout``: the slow-loris defence on the wire readers."""
+
+    def _trickler(self, payload, gap_s=0.05):
+        """A peer that drips ``payload`` one byte per ``gap_s``."""
+        ours, theirs = socket.socketpair()
+
+        def drip():
+            with contextlib.suppress(OSError):
+                for i in range(len(payload)):
+                    theirs.sendall(payload[i : i + 1])
+                    if stop.wait(gap_s):
+                        return
+
+        stop = threading.Event()
+        writer = threading.Thread(target=drip, daemon=True)
+        writer.start()
+        return ours, theirs, stop
+
+    def test_header_trickle_stalls_out_under_the_budget(self):
+        head = b"POST / HTTP/1.1\r\nHost: x\r\n" + b"X: " + b"a" * 256
+        ours, theirs, stop = self._trickler(head)
+        try:
+            # Per-recv timeout (1s) never trips at a 0.05s drip; the
+            # overall budget is what cuts the read off.
+            with pytest.raises(StallError, match="budget"):
+                read_until_blank_line(
+                    ours, timeout=1.0, overall_timeout=0.3
+                )
+        finally:
+            stop.set()
+            ours.close()
+            theirs.close()
+
+    def test_body_trickle_stalls_out_under_the_budget(self):
+        from repro.proto.httpwire import read_body
+
+        ours, theirs, stop = self._trickler(b"b" * 256)
+        try:
+            with pytest.raises(StallError, match="budget"):
+                read_body(
+                    ours,
+                    b"",
+                    256,
+                    timeout=1.0,
+                    overall_timeout=0.3,
+                )
+        finally:
+            stop.set()
+            ours.close()
+            theirs.close()
+
+    def test_no_budget_keeps_the_per_recv_semantics(self):
+        # A trickled but terminating head still parses when no overall
+        # budget is set (the pre-existing behaviour).
+        stream = FakeSocket(b"HTTP/1.1 200 OK\r\n\r\n", chunk=3)
+        head, leftover = read_until_blank_line(stream)
+        assert head.endswith(b"\r\n\r\n")
+        assert leftover == b""
+
+
 # ---------------------------------------------------------------------------
 # Stalling peers: StallError, not a hang
 # ---------------------------------------------------------------------------
@@ -151,8 +212,9 @@ class TestStallingPeer:
 
     def test_proxy_times_out_single_transfer_and_keeps_serving(self):
         # The origin accepts the proxy's connection and never answers:
-        # each LAN request costs one 504, one structured peer-stall
-        # event, and the proxy remains responsive for the next one.
+        # each LAN request costs one 504, one structured stall event
+        # (the canonical kind — the proxy's old peer-stall spelling is
+        # an alias now), and the proxy remains responsive for the next.
         with silent_server() as stalled_origin:
             proxy = MobileProxy(
                 stalled_origin, name="ph-stall", recv_timeout=0.3
@@ -170,7 +232,7 @@ class TestStallingPeer:
                     assert status == 504
             finally:
                 proxy.stop()
-            stalls = proxy.degradations.of_kind("peer-stall")
+            stalls = proxy.degradations.of_kind("stall")
             assert len(stalls) == 2
             assert all(
                 isinstance(event, DegradationEvent) for event in stalls
