@@ -61,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "compare against the committed records and exit non-zero on "
-            f">{REGRESSION_THRESHOLD * 100:.0f}% normalized regression"
+            f">{REGRESSION_THRESHOLD * 100:.0f}%% normalized regression"
         ),
     )
     parser.add_argument(

@@ -42,7 +42,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.bench.scenarios import run_engine_scale
+from repro.bench.scenarios import run_engine_scale, run_fleet_scale
 
 #: Fractional slowdown of ``normalized`` that fails the CI gate.
 REGRESSION_THRESHOLD = 0.25
@@ -55,6 +55,7 @@ BENCH_FILENAMES: Dict[str, str] = {
     "fig06": "BENCH_fig06.json",
     "ext-churn": "BENCH_ext_churn.json",
     "engine-scale": "BENCH_engine_scale.json",
+    "fleet": "BENCH_fleet.json",
 }
 
 #: Benchmark name -> (kind, experiment id or None).
@@ -62,6 +63,7 @@ BENCHMARKS: Dict[str, Tuple[str, Optional[str]]] = {
     "fig06": ("experiment-quick", "fig06"),
     "ext-churn": ("experiment-quick", "ext-churn"),
     "engine-scale": ("engine-scale", None),
+    "fleet": ("fleet-scale", None),
 }
 
 _CALIBRATION_LOOPS = 400_000
@@ -106,6 +108,13 @@ def _time_engine_scale() -> Tuple[float, Dict[str, Any]]:
     return elapsed, dict(counters)
 
 
+def _time_fleet_scale() -> Tuple[float, Dict[str, Any]]:
+    started = time.perf_counter()
+    counters = run_fleet_scale()
+    elapsed = time.perf_counter() - started
+    return elapsed, dict(counters)
+
+
 def measure_benchmark(
     name: str, repeats: int = DEFAULT_REPEATS
 ) -> Dict[str, Any]:
@@ -120,6 +129,8 @@ def measure_benchmark(
     if kind == "experiment-quick":
         assert experiment_id is not None
         runner_fn = functools.partial(_time_experiment, experiment_id)
+    elif kind == "fleet-scale":
+        runner_fn = _time_fleet_scale
     else:
         runner_fn = _time_engine_scale
     samples: List[float] = []

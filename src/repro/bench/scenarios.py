@@ -81,3 +81,43 @@ def run_engine_scale() -> Dict[str, float]:
         "steps": float(steps),
         "final_time": network.time,
     }
+
+
+#: Fleet-scale scenario size: the ROADMAP's 10^5-household city day.
+FLEET_HOUSEHOLDS = 100_000
+
+#: Pinned city seed and adoption for the fleet benchmark.
+_FLEET_SEED = 0
+_FLEET_ADOPTION = 0.5
+
+#: Oversubscribed backhaul (Mbps) so peak-hour contention — the very
+#: thing the sharded round exchange exists to resolve — is exercised.
+_FLEET_BACKHAUL_MBPS = 16.0
+
+
+def run_fleet_scale() -> Dict[str, float]:
+    """One sharded city day at 10^5 households; deterministic counters.
+
+    Runs the multi-provider policy (the heavier of the two onload
+    policies: every sector grants, so caps actually burn) in-process
+    (``jobs=1``) over the default shard partition. The returned
+    integer-byte totals are covered by the deterministic-merge contract
+    (``docs/FLEET.md``), so any drift means the workload itself changed
+    and timings are not comparable.
+    """
+    from repro.fleet.dispatcher import run_policy
+    from repro.fleet.population import FleetParameters
+
+    params = FleetParameters(
+        n_households=FLEET_HOUSEHOLDS,
+        seed=_FLEET_SEED,
+        dslam_backhaul_bps=mbps(_FLEET_BACKHAUL_MBPS),
+    )
+    run = run_policy(params, "multi-provider", _FLEET_ADOPTION)
+    return {
+        "n_households": float(FLEET_HOUSEHOLDS),
+        "adsl_bytes": float(run.total_adsl_bytes),
+        "onload_bytes": float(run.total_onload_bytes),
+        "cap_exhaustions": float(run.cap_exhaustions),
+        "backlog_bytes": float(run.round_backlog[-1]),
+    }

@@ -174,7 +174,7 @@ def register(spec: ExperimentSpec) -> None:
 #: Modules under repro.experiments that are infrastructure, not
 #: experiments.
 _NON_EXPERIMENT_MODULES = frozenset(
-    {"formatting", "registry", "report", "runner", "wild"}
+    {"catalogue", "formatting", "registry", "report", "runner", "wild"}
 )
 
 _discovered = False

@@ -80,6 +80,9 @@ _DETERMINISM_PACKAGES = (
     # hunt promises seed-reproducible scenario generation, mutation and
     # minimization — the corpus is only replayable if that holds.
     "hunt",
+    # fleet promises byte-identical merges at any --jobs/shard count;
+    # its only entropy is the seed-derived population stream.
+    "fleet",
 )
 
 #: ``datetime``-ish attributes that read the wall clock.
@@ -92,7 +95,7 @@ class DeterminismRule(Rule):
 
     code = "RL001"
     title = "stochastic code must draw from a seeded RngFactory stream"
-    scope = "core, netsim, traces, pilot, experiments, bench, hunt"
+    scope = "core, netsim, traces, pilot, experiments, bench, hunt, fleet"
     rationale = (
         "Experiments promise byte-identical results at any --jobs count; "
         "one call to time.time(), the global random module, os.urandom or "
@@ -282,6 +285,7 @@ class UnitsRule(Rule):
 _NON_EXPERIMENT_MODULES = frozenset(
     {
         "__init__.py",
+        "catalogue.py",
         "formatting.py",
         "registry.py",
         "report.py",
@@ -715,7 +719,7 @@ class ProtocolTaxonomyRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: Top-level packages whose whole public surface is documented.
-_DOCSTRING_PACKAGES = ("core", "obs", "hunt")
+_DOCSTRING_PACKAGES = ("core", "obs", "hunt", "fleet")
 
 #: Individual modules outside those packages held to the same bar.
 _DOCSTRING_MODULES = (
@@ -748,7 +752,7 @@ class PublicDocstringRule(Rule):
         "carry a module docstring stating what they pin down."
     )
     scope = (
-        "core, obs, hunt, experiments registry+runner; tests/, "
+        "core, obs, hunt, fleet, experiments registry+runner; tests/, "
         "benchmarks/ (module docstring only)"
     )
 

@@ -200,6 +200,14 @@ EVENTS: Dict[str, Dict[str, str]] = {
         "aborted": "stragglers aborted at the deadline (trued up)",
         "elapsed_s": "drain duration, seconds (wall clock)",
     },
+    "fleet.round": {
+        "policy": "fleet policy (adsl-only/multi-provider/"
+                  "network-integrated)",
+        "round": "0-based round index within the simulated day",
+        "adsl_bytes": "bytes delivered over ADSL this round",
+        "onload_bytes": "bytes delivered over 3G this round",
+        "backlog_bytes": "city-wide backlog after the round, bytes",
+    },
 }
 
 #: Every metric: name -> {type, labels, unit, help}.
@@ -354,6 +362,46 @@ METRICS: Dict[str, Dict[str, object]] = {
     "service.retry_denials": {
         "type": "counter", "labels": (), "unit": "count",
         "help": "retries refused by the shared RetryBudget",
+    },
+    "fleet.demand_bytes": {
+        "type": "counter", "labels": ("policy",), "unit": "bytes",
+        "help": "fleet demand arriving per round (integer bytes)",
+    },
+    "fleet.adsl_bytes": {
+        "type": "counter", "labels": ("policy",), "unit": "bytes",
+        "help": "fleet bytes delivered over the ADSL/DSLAM leg",
+    },
+    "fleet.onload_bytes": {
+        "type": "counter", "labels": ("policy",), "unit": "bytes",
+        "help": "fleet bytes onloaded to 3G sectors",
+    },
+    "fleet.waste_bytes": {
+        "type": "counter", "labels": ("policy",), "unit": "bytes",
+        "help": "onloaded bytes whose ADSL line share went unused",
+    },
+    "fleet.backlog_bytes": {
+        "type": "gauge", "labels": ("policy",), "unit": "bytes",
+        "help": "city-wide backlog after the latest round",
+    },
+    "fleet.cap_exhaustions": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "households whose daily onload cap ran dry",
+    },
+    "fleet.permit_requests": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "household permit requests reaching the permit server",
+    },
+    "fleet.permit_grants": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "household permit requests granted",
+    },
+    "fleet.permit_denials": {
+        "type": "counter", "labels": ("policy", "reason"), "unit": "count",
+        "help": "permit denials by reason (capacity/threshold)",
+    },
+    "fleet.congested_sector_rounds": {
+        "type": "counter", "labels": ("policy",), "unit": "count",
+        "help": "sector-rounds driven to full cell utilization",
     },
 }
 

@@ -11,7 +11,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Markdown files whose intra-repo links must resolve.
 DOC_FILES = sorted(
-    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").rglob("*.md")]
 )
 
 #: ``[text](target)`` links, excluding images (negative lookbehind).
@@ -89,6 +89,71 @@ class TestLintCatalogueDoc:
 
         for registered in all_rules():
             assert registered.code in readme
+
+
+class TestExperimentCatalogueDoc:
+    def test_matches_generated(self):
+        """The committed catalogue is byte-for-byte the generated one.
+
+        Same pattern as the trace-schema tables: registering, renaming
+        or re-parameterising an experiment regenerates the document,
+        and this pin forces the committed file to follow.
+        """
+        from repro.experiments.catalogue import catalog_markdown
+
+        committed = (
+            REPO_ROOT / "docs" / "EXPERIMENTS_CATALOG.md"
+        ).read_text(encoding="utf-8")
+        assert committed == catalog_markdown()
+
+    def test_every_experiment_documented(self):
+        from repro.experiments import registry
+
+        committed = (
+            REPO_ROOT / "docs" / "EXPERIMENTS_CATALOG.md"
+        ).read_text(encoding="utf-8")
+        for spec in registry.all_experiments():
+            assert f"`{spec.id}`" in committed
+
+
+class TestCliDoc:
+    def test_matches_generated(self):
+        """The committed CLI reference is byte-for-byte the generated one.
+
+        A new flag, subcommand or help string regenerates the document,
+        and this pin forces the committed file to follow.
+        """
+        from repro.clidocs import cli_markdown
+
+        committed = (REPO_ROOT / "docs" / "CLI.md").read_text(
+            encoding="utf-8"
+        )
+        assert committed == cli_markdown()
+
+    def test_every_console_script_documented(self):
+        """Every [project.scripts] entry has a section in docs/CLI.md."""
+        from repro.clidocs import ENTRY_POINTS
+
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text(
+            encoding="utf-8"
+        )
+        committed = (REPO_ROOT / "docs" / "CLI.md").read_text(
+            encoding="utf-8"
+        )
+        section = re.search(
+            r"\[project\.scripts\]\n(.*?)(?:\n\[|\Z)",
+            pyproject,
+            flags=re.DOTALL,
+        )
+        assert section, "no [project.scripts] section found"
+        scripts = re.findall(
+            r"^(\S+)\s*=", section.group(1), flags=re.MULTILINE
+        )
+        assert scripts, "no [project.scripts] entries found"
+        documented = {script for script, _ in ENTRY_POINTS}
+        for script in scripts:
+            assert script in documented, f"{script} not in ENTRY_POINTS"
+            assert f"`{script}`" in committed
 
 
 class TestArchitectureDoc:
